@@ -1,0 +1,60 @@
+//! GPU SumCheck cost model (NVIDIA A100 running ICICLE, §VI-A4).
+//!
+//! Anchored to Table II: `(A·B−C)·f_τ` at `2^24` takes 571 ms on the
+//! A100 — ≈ 2 ns per field multiplication across the device (memory
+//! bandwidth folded in, as the A100's 1.6 TB/s is the real limiter).
+//! ICICLE cannot express composites with more than eight unique
+//! constituent polynomials, which is why the paper's Table II has no GPU
+//! entries for rows 21–24.
+
+use zkphire_core::profile::PolyProfile;
+
+/// Calibrated device-wide wall time per field multiplication (ns).
+pub const GPU_NS_PER_MUL: f64 = 1.0;
+
+/// ICICLE's composite-polynomial limit (§VI-A4).
+pub const ICICLE_MAX_UNIQUE_MLES: usize = 8;
+
+/// Modeled A100 runtime (ms) of one SumCheck, or `None` when ICICLE
+/// cannot run the polynomial (more than
+/// [`ICICLE_MAX_UNIQUE_MLES`] unique constituents).
+pub fn gpu_sumcheck_ms(profile: &PolyProfile, mu: usize) -> Option<f64> {
+    if profile.unique_slots().len() > ICICLE_MAX_UNIQUE_MLES {
+        return None;
+    }
+    Some(profile.total_muls(mu) * GPU_NS_PER_MUL / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkphire_poly::table1_gate;
+
+    #[test]
+    fn calibration_reproduces_table2_row1() {
+        // 571 ms on the A100 for (A·B−C)·f_τ at problem size 2N = 2^25.
+        let profile = PolyProfile::from_gate(&table1_gate(1));
+        let ms = gpu_sumcheck_ms(&profile, 25).unwrap();
+        let ratio = ms / 571.0;
+        assert!(ratio > 0.7 && ratio < 1.4, "modeled {ms} ms");
+    }
+
+    #[test]
+    fn icicle_rejects_wide_composites() {
+        // Rows 21–24 have more than 8 unique constituents ("—" in Table II).
+        for gate in [21usize, 22, 23, 24] {
+            let profile = PolyProfile::from_gate(&table1_gate(gate));
+            assert!(gpu_sumcheck_ms(&profile, 24).is_none(), "gate {gate}");
+        }
+    }
+
+    #[test]
+    fn gpu_beats_cpu_but_not_by_100x() {
+        // Table II: GPU is ~9–12× faster than the 4-thread CPU.
+        let profile = PolyProfile::from_gate(&table1_gate(1));
+        let cpu = crate::cpu::cpu_sumcheck_ms(&profile, 25, 4);
+        let gpu = gpu_sumcheck_ms(&profile, 25).unwrap();
+        let speedup = cpu / gpu;
+        assert!(speedup > 5.0 && speedup < 20.0, "speedup {speedup}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Baseline cost models: the 4/32-thread EPYC-7502 CPU, the A100/ICICLE
+//! GPU, and the zkSpeed / zkSpeed+ ASICs the paper compares against.
+//!
+//! Per DESIGN.md substitution S2, these are analytical models driven by
+//! the same operation counts as the functional prover, with per-operation
+//! constants anchored to the paper's published absolute runtimes
+//! (Table II row 1 for CPU and GPU; zkSpeed's §VI-A3 configuration for
+//! the ASIC). Published end-to-end protocol baselines (Tables VI/VII) are
+//! carried verbatim in [`zkphire_core::workloads`].
+
+pub mod cpu;
+pub mod gpu;
+pub mod zkspeed;
+
+pub use cpu::{cpu_sumcheck_ms, CPU_NS_PER_MUL_SINGLE_THREAD};
+pub use gpu::{gpu_sumcheck_ms, GPU_NS_PER_MUL, ICICLE_MAX_UNIQUE_MLES};
+pub use zkspeed::{zkspeed_sumcheck_ms, ZkSpeedVariant, ZKSPEED_EFFECTIVE_MULS};

@@ -1,0 +1,124 @@
+//! zkSpeed / zkSpeed+ SumCheck model (§VI-A3).
+//!
+//! zkSpeed builds a *fixed-function* unified SumCheck core for the
+//! Vanilla HyperPlonk polynomials: the datapath is wired to the exact
+//! polynomial, so every multiplier is kept busy (no programmability
+//! stalls) and the 300 MB global scratchpad eliminates mid-protocol
+//! off-chip traffic. Its weakness — and the paper's motivation — is that
+//! it cannot run any other composite.
+//!
+//! * **zkSpeed+** additionally pipelines MLE Updates into the extension/
+//!   product datapath (the same fusion zkPHIRE uses), processing each
+//!   round in a single pass.
+//! * **zkSpeed** (baseline) runs the update as a separate scratchpad
+//!   pass, stretching every round.
+
+use zkphire_core::memory::MemoryConfig;
+use zkphire_core::profile::PolyProfile;
+
+/// Effective fully-utilized modular multipliers of zkSpeed's SumCheck +
+/// MLE-Update area budget (30.8 mm² at 7nm, §VI-A3). Raw multiplier
+/// capacity would be 30.8 / 0.133 ≈ 232, but — as in zkPHIRE's own PE
+/// breakdown — roughly 55% of a SumCheck datapath is adders, extension
+/// registers and control, leaving ≈ 100 fully pipelined multipliers.
+pub const ZKSPEED_EFFECTIVE_MULS: f64 = 100.0;
+
+/// Separate-update-pass stretch of baseline zkSpeed relative to zkSpeed+
+/// (the update pass re-walks each round's tables through the scratchpad).
+const SEPARATE_UPDATE_STRETCH: f64 = 1.5;
+
+/// Which zkSpeed variant to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ZkSpeedVariant {
+    /// As published (separate MLE-Update pass).
+    Baseline,
+    /// With updates pipelined into the SumCheck datapath ("zkSpeed+").
+    Plus,
+}
+
+/// Modeled zkSpeed runtime (ms) of one SumCheck over `2^mu` entries.
+///
+/// The fixed-function datapath achieves perfect multiplier utilization;
+/// the global scratchpad means only the initial (compressed) table load
+/// touches off-chip memory.
+pub fn zkspeed_sumcheck_ms(
+    profile: &PolyProfile,
+    mu: usize,
+    variant: ZkSpeedVariant,
+    mem: &MemoryConfig,
+) -> f64 {
+    // Per-pair multiplications: term products at each term's own
+    // evaluation-point budget, plus one update per slot.
+    let mut per_pair = 0f64;
+    for t in &profile.terms {
+        if t.degree() == 0 {
+            continue; // constant terms add, never multiply
+        }
+        let k_t = (t.degree() + 1) as f64;
+        per_pair += k_t * (t.degree() as f64 - 1.0 + f64::from(u8::from(t.coeff_needs_mul)));
+    }
+    per_pair += profile.mle_kinds.len() as f64; // updates
+
+    // Σ pairs over rounds = 2^mu − 1.
+    let total_pairs = ((1u64 << mu) - 1) as f64;
+    let compute = total_pairs * per_pair / ZKSPEED_EFFECTIVE_MULS;
+
+    // One-time fill of the global scratchpad with the compressed tables.
+    let n = (1u64 << mu) as f64;
+    let fill_bytes: f64 = profile
+        .unique_slots()
+        .iter()
+        .map(|&s| n * profile.round1_bytes_per_entry(s))
+        .sum();
+    let fill = mem.cycles_for_bytes(fill_bytes);
+
+    let cycles = match variant {
+        ZkSpeedVariant::Plus => compute.max(fill),
+        ZkSpeedVariant::Baseline => (compute * SEPARATE_UPDATE_STRETCH).max(fill),
+    };
+    cycles / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkphire_poly::table1_gate;
+
+    #[test]
+    fn plus_is_faster_than_baseline() {
+        let profile = PolyProfile::from_gate(&table1_gate(20));
+        let mem = MemoryConfig::new(2048.0);
+        let base = zkspeed_sumcheck_ms(&profile, 24, ZkSpeedVariant::Baseline, &mem);
+        let plus = zkspeed_sumcheck_ms(&profile, 24, ZkSpeedVariant::Plus, &mem);
+        assert!(plus < base);
+        let ratio = base / plus;
+        assert!(ratio > 1.2 && ratio < 1.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn vanilla_sumchecks_land_in_fig9_range() {
+        // Fig. 9: the three Vanilla SumChecks total ≈ tens of ms at 2^24.
+        let mem = MemoryConfig::new(2048.0);
+        let total: f64 = [20usize, 21, 24]
+            .iter()
+            .map(|&g| {
+                zkspeed_sumcheck_ms(
+                    &PolyProfile::from_gate(&table1_gate(g)),
+                    24,
+                    ZkSpeedVariant::Plus,
+                    &mem,
+                )
+            })
+            .sum();
+        assert!(total > 3.0 && total < 60.0, "total {total} ms");
+    }
+
+    #[test]
+    fn scales_linearly() {
+        let profile = PolyProfile::from_gate(&table1_gate(21));
+        let mem = MemoryConfig::new(2048.0);
+        let a = zkspeed_sumcheck_ms(&profile, 20, ZkSpeedVariant::Plus, &mem);
+        let b = zkspeed_sumcheck_ms(&profile, 22, ZkSpeedVariant::Plus, &mem);
+        assert!(b / a > 3.5 && b / a < 4.5);
+    }
+}

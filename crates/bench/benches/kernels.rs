@@ -1,0 +1,112 @@
+//! Criterion benchmarks for the functional kernels: field arithmetic,
+//! Keccak, MLE operations, MSM and SumCheck rounds.
+//!
+//! These measure *this machine's* CPU — the absolute numbers feed the
+//! shape-level validation of the CPU baseline model (DESIGN.md S2), not
+//! the paper's EPYC figures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkphire_curve::{msm, G1Affine};
+use zkphire_field::{batch_inverse, Fr};
+use zkphire_poly::{sparsity, table1_gate, Mle};
+use zkphire_sumcheck::prove;
+use zkphire_transcript::{sha3_256, Transcript};
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    let mut group = c.benchmark_group("field");
+    group.bench_function("fr_mul", |bench| bench.iter(|| std::hint::black_box(a) * b));
+    group.bench_function("fr_add", |bench| bench.iter(|| std::hint::black_box(a) + b));
+    group.bench_function("fr_inverse", |bench| {
+        bench.iter(|| std::hint::black_box(a).inverse())
+    });
+    let values: Vec<Fr> = (0..1024).map(|_| Fr::random(&mut rng)).collect();
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("batch_inverse_1024", |bench| {
+        bench.iter(|| {
+            let mut v = values.clone();
+            batch_inverse(&mut v);
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_keccak(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut group = c.benchmark_group("keccak");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha3_256_4k", |bench| bench.iter(|| sha3_256(&data)));
+    group.finish();
+}
+
+fn bench_mle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mu = 14;
+    let f = Mle::from_fn(mu, |_| Fr::random(&mut rng));
+    let r = Fr::random(&mut rng);
+    let point: Vec<Fr> = (0..mu).map(|_| Fr::random(&mut rng)).collect();
+    let mut group = c.benchmark_group("mle");
+    group.throughput(Throughput::Elements(1 << mu));
+    group.bench_function("fix_first_variable_2^14", |bench| {
+        bench.iter(|| f.fix_first_variable(r))
+    });
+    group.bench_function("eq_table_2^14", |bench| bench.iter(|| Mle::eq_table(&point)));
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("msm");
+    group.sample_size(10);
+    for log_n in [8usize, 10] {
+        let n = 1 << log_n;
+        let points: Vec<G1Affine> = (0..n).map(|_| G1Affine::random(&mut rng)).collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |bench, _| {
+            bench.iter(|| msm(&points, &scalars))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sumcheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sumcheck");
+    group.sample_size(10);
+    // The Vanilla and Jellyfish ZeroCheck composites — the kernels the
+    // accelerator targets (Table II's CPU column at miniature scale).
+    for (name, gate_id) in [("vanilla_zc", 20usize), ("jellyfish_zc", 22)] {
+        let gate = table1_gate(gate_id);
+        let mu = 12;
+        let mut rng = StdRng::seed_from_u64(gate_id as u64);
+        let mles = sparsity::random_binding(&mut rng, &gate.mle_kinds, mu);
+        group.throughput(Throughput::Elements(1 << mu));
+        group.bench_function(BenchmarkId::new(name, 1 << mu), |bench| {
+            bench.iter(|| {
+                let mut t = Transcript::new(b"bench");
+                prove(&gate.poly, mles.clone(), &mut t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_field, bench_keccak, bench_mle, bench_msm, bench_sumcheck
+}
+criterion_main!(benches);

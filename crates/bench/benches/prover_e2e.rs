@@ -1,0 +1,43 @@
+//! Criterion benchmark for the end-to-end HyperPlonk prover — the
+//! repository's real software baseline (miniature scale; the analytical
+//! model extrapolates the paper's sizes).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkphire_hyperplonk::{prove, setup, Circuit, GateSystem};
+use zkphire_transcript::Transcript;
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperplonk_prove");
+    group.sample_size(10);
+    for (name, system) in [
+        ("vanilla", GateSystem::Vanilla),
+        ("jellyfish", GateSystem::Jellyfish),
+    ] {
+        let mu = 7;
+        let mut rng = StdRng::seed_from_u64(11);
+        let (circuit, witness) = Circuit::random(system, mu, 0.5, &mut rng);
+        let (pk, _) = setup(circuit, &mut rng);
+        group.throughput(Throughput::Elements(1 << mu));
+        group.bench_function(BenchmarkId::new(name, 1 << mu), |bench| {
+            bench.iter(|| prove(&pk, &witness, &mut Transcript::new(b"bench")))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_prover
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates the paper's tables and figures from this repository's
+//! models. Usage: `repro <experiment|all>`; see `repro list`.
+
+use std::process::ExitCode;
+
+use zkphire_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        eprintln!("usage: repro <experiment|all|list>");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        return ExitCode::FAILURE;
+    };
+    match which.as_str() {
+        "list" => {
+            println!("{}", experiments::ALL.join("\n"));
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for name in experiments::ALL {
+                println!("=== {name} ===");
+                println!("{}", experiments::run(name).expect("registered"));
+            }
+            ExitCode::SUCCESS
+        }
+        name => match experiments::run(name) {
+            Some(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; try `repro list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

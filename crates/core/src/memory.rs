@@ -1,0 +1,72 @@
+//! Off-chip memory model: bandwidth tiers and PHY provisioning (§IV-B6,
+//! §VI-B1).
+//!
+//! At the 1 GHz design clock, one GB/s is exactly one byte per cycle, so
+//! transfer-time math stays in cycles (= nanoseconds).
+
+use crate::tech;
+
+/// The off-chip memory system of a design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryConfig {
+    /// Peak bandwidth in GB/s (the paper sweeps 64 GB/s – 4 TB/s).
+    pub bandwidth_gbps: f64,
+}
+
+impl MemoryConfig {
+    /// Creates a memory system with the given peak bandwidth.
+    pub fn new(bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        Self { bandwidth_gbps }
+    }
+
+    /// Bytes transferable per cycle at 1 GHz.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Cycles to move `bytes` at peak bandwidth.
+    pub fn cycles_for_bytes(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth_gbps
+    }
+
+    /// PHY count and area for this bandwidth tier.
+    pub fn phy(&self) -> (usize, f64) {
+        tech::phy_for_bandwidth(self.bandwidth_gbps)
+    }
+
+    /// Memory-system power (W), scaling with provisioned bandwidth.
+    pub fn power_watts(&self) -> f64 {
+        self.bandwidth_gbps / 1024.0 * tech::HBM_WATTS_PER_TBPS
+    }
+
+    /// The paper's seven bandwidth tiers (Table III).
+    pub fn sweep_tiers() -> [f64; 7] {
+        [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_gbps_is_one_byte_per_cycle() {
+        let m = MemoryConfig::new(1.0);
+        assert!((m.bytes_per_cycle() - 1.0).abs() < 1e-12);
+        assert!((m.cycles_for_bytes(1e9) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn phy_area_scales_with_tier() {
+        let small = MemoryConfig::new(128.0).phy().1;
+        let large = MemoryConfig::new(4096.0).phy().1;
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = MemoryConfig::new(0.0);
+    }
+}

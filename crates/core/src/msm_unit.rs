@@ -1,0 +1,180 @@
+//! Cycle model of the MSM unit (paper §IV-B3 — "the same MSM architecture
+//! as zkSpeed"): Pippenger bucket accumulation over fully pipelined PADD
+//! cores, with the sparse-scalar fast paths that witness commitments
+//! exploit (§II-B, §IV-B1).
+
+use crate::memory::MemoryConfig;
+use crate::tech::{self, PrimeMode, ELEMENT_BYTES, POINT_BYTES};
+
+/// MSM unit configuration (Table III knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MsmUnitConfig {
+    /// Processing elements, each a fully pipelined PADD core.
+    pub pes: usize,
+    /// Pippenger window size in bits (Table III: 7–10).
+    pub window_bits: usize,
+    /// On-chip point-buffer capacity per PE (Table III: 1K–16K points).
+    pub points_per_pe: usize,
+}
+
+/// Scalar statistics of an MSM workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScalarProfile {
+    /// Uniformly random scalars (committing ϕ, π, quotients, ...).
+    Dense,
+    /// Witness-style scalars: ~90% zero, the rest full-width (§IV-B1).
+    SparseWitness,
+    /// Selector-style scalars: zero or one.
+    Binary,
+}
+
+/// Simulation output for one MSM.
+#[derive(Clone, Copy, Debug)]
+pub struct MsmReport {
+    /// End-to-end cycles.
+    pub cycles: f64,
+    /// Point additions executed (the PADD-equivalent work).
+    pub padds: f64,
+    /// Off-chip traffic in bytes.
+    pub mem_bytes: f64,
+}
+
+impl MsmUnitConfig {
+    /// Pippenger windows over 255-bit scalars.
+    pub fn num_windows(&self) -> usize {
+        255usize.div_ceil(self.window_bits)
+    }
+
+    /// Compute area (mm², 7nm): PADD pipeline + bucket/digit control.
+    pub fn area_mm2(&self, prime: PrimeMode) -> f64 {
+        self.pes as f64 * (tech::PADD_MULS * prime.modmul_381_mm2() + tech::MSM_PE_OVERHEAD_MM2)
+    }
+
+    /// On-chip SRAM demand in MB: resident point buffers plus the bucket
+    /// set of the window currently being processed (windows are walked
+    /// one at a time against resident points, as in zkSpeed).
+    pub fn sram_mb(&self) -> f64 {
+        let buckets = 1usize << self.window_bits;
+        self.pes as f64 * (self.points_per_pe as f64 + buckets as f64) * POINT_BYTES
+            / (1024.0 * 1024.0)
+    }
+}
+
+/// Simulates an `n`-point MSM.
+pub fn simulate_msm(
+    n: u64,
+    scalars: ScalarProfile,
+    cfg: &MsmUnitConfig,
+    mem: &MemoryConfig,
+) -> MsmReport {
+    let windows = cfg.num_windows() as f64;
+    let n = n as f64;
+
+    // Effective bucket-insertion work per point.
+    let (points_touched, windows_per_point, scalar_bytes_each) = match scalars {
+        ScalarProfile::Dense => (n, windows, ELEMENT_BYTES),
+        // 10% of scalars are non-zero full-width elements.
+        ScalarProfile::SparseWitness => (0.1 * n, windows, 0.1 * ELEMENT_BYTES + 0.4),
+        // Half the scalars are 1: a single bucket add, no window walk.
+        ScalarProfile::Binary => (0.5 * n, 1.0, 1.0 / 8.0),
+    };
+
+    let bucket_adds = points_touched * windows_per_point;
+    // Each PE accumulates its own bucket set and reduces it serially
+    // (running sum: 2 adds per bucket), then per-window partials merge
+    // across PEs.
+    let buckets_per_pe = windows * (1u64 << cfg.window_bits) as f64;
+    let reduction_adds = 2.0 * buckets_per_pe * cfg.pes as f64;
+    let merge = (cfg.pes as f64).log2().ceil() * windows;
+    // Final window aggregation: doublings + one add per window.
+    let tail = 255.0 + windows + merge;
+    let padds = bucket_adds + reduction_adds + tail;
+
+    // PADDs pipeline at II=1 per PE; bucket insertion parallelizes across
+    // PEs, but each PE pays its own serial reduction.
+    let compute = bucket_adds / cfg.pes as f64 + 2.0 * buckets_per_pe + tail;
+
+    // Points are fetched once (only for non-zero scalars); scalars stream
+    // compressed. MSM has high reuse, so traffic is a single pass.
+    let mem_bytes = points_touched * POINT_BYTES + n * scalar_bytes_each;
+    let mem_cycles = mem.cycles_for_bytes(mem_bytes);
+
+    MsmReport {
+        cycles: compute.max(mem_cycles),
+        padds,
+        mem_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MsmUnitConfig {
+        MsmUnitConfig {
+            pes: 32,
+            window_bits: 8,
+            points_per_pe: 8192,
+        }
+    }
+
+    #[test]
+    fn dense_msm_scales_linearly() {
+        let mem = MemoryConfig::new(2048.0);
+        let small = simulate_msm(1 << 20, ScalarProfile::Dense, &cfg(), &mem);
+        let large = simulate_msm(1 << 22, ScalarProfile::Dense, &cfg(), &mem);
+        let ratio = large.cycles / small.cycles;
+        assert!(ratio > 3.5 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sparse_is_much_cheaper_than_dense() {
+        let mem = MemoryConfig::new(2048.0);
+        let dense = simulate_msm(1 << 22, ScalarProfile::Dense, &cfg(), &mem);
+        let sparse = simulate_msm(1 << 22, ScalarProfile::SparseWitness, &cfg(), &mem);
+        assert!(sparse.cycles < dense.cycles / 5.0);
+        let binary = simulate_msm(1 << 22, ScalarProfile::Binary, &cfg(), &mem);
+        assert!(binary.cycles < sparse.cycles);
+    }
+
+    #[test]
+    fn msm_is_compute_bound_at_hbm() {
+        // §IV-A: "MSMs ... have low bandwidth pressure due to high data
+        // reuse" — at HBM bandwidth the unit must not be memory bound.
+        let mem = MemoryConfig::new(2048.0);
+        let r = simulate_msm(1 << 24, ScalarProfile::Dense, &cfg(), &mem);
+        let compute_only = simulate_msm(1 << 24, ScalarProfile::Dense, &cfg(), &MemoryConfig::new(1e9));
+        assert!((r.cycles - compute_only.cycles).abs() / r.cycles < 0.01);
+    }
+
+    #[test]
+    fn more_pes_reduce_cycles() {
+        let mem = MemoryConfig::new(4096.0);
+        let base = simulate_msm(1 << 22, ScalarProfile::Dense, &cfg(), &mem);
+        let mut big = cfg();
+        big.pes = 64;
+        let faster = simulate_msm(1 << 22, ScalarProfile::Dense, &big, &mem);
+        assert!(faster.cycles < base.cycles);
+    }
+
+    #[test]
+    fn window_tradeoff_exists() {
+        // Bigger windows mean fewer insertions but more reduction work.
+        let mem = MemoryConfig::new(4096.0);
+        let mut w7 = cfg();
+        w7.window_bits = 7;
+        let mut w10 = cfg();
+        w10.window_bits = 10;
+        let small_n = simulate_msm(1 << 14, ScalarProfile::Dense, &w10, &mem);
+        let small_n_w7 = simulate_msm(1 << 14, ScalarProfile::Dense, &w7, &mem);
+        // At small n the small window wins (reduction dominates).
+        assert!(small_n_w7.cycles < small_n.cycles);
+    }
+
+    #[test]
+    fn exemplar_area_matches_table5() {
+        // 32 PEs ≈ 105.69 mm² (Table V).
+        let area = cfg().area_mm2(PrimeMode::Fixed);
+        assert!((area - 105.69).abs() < 3.0, "area {area}");
+    }
+}

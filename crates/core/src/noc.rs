@@ -1,0 +1,132 @@
+//! On-chip interconnect model (paper §IV-B6).
+//!
+//! zkPHIRE's six modules hang off a multi-channel shared bus provisioned
+//! for peak data movement; two 32×32 bit-sliced crossbars feed the MSM
+//! and SumCheck units. During Wire Identity, bidirectional
+//! SumCheck↔Forest transfers plus the PermQuotGen→MSM stream require
+//! three concurrent channels to avoid stalls; at the 294 mm² exemplar the
+//! aggregate on-chip bandwidth requirement reaches ≈19 TB/s.
+
+use crate::system::ZkphireConfig;
+use crate::tech::{ELEMENT_BYTES, POINT_BYTES};
+
+/// Protocol phases with distinct interconnect traffic patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BusPhase {
+    /// Witness commitments: memory → MSM only.
+    WitnessCommit,
+    /// Gate Identity: memory ↔ SumCheck.
+    GateIdentity,
+    /// Wire Identity: SumCheck ↔ Forest (bidirectional) plus
+    /// PermQuotGen → MSM (§IV-B6's three-channel case).
+    WireIdentity,
+    /// Batch Evaluations: memory → Forest.
+    BatchEvaluations,
+    /// Polynomial Opening: Combine → MSM plus memory ↔ SumCheck.
+    PolynomialOpening,
+}
+
+impl BusPhase {
+    /// Concurrent bus channels the phase needs to run stall-free.
+    pub fn required_channels(self) -> usize {
+        match self {
+            BusPhase::WitnessCommit | BusPhase::GateIdentity | BusPhase::BatchEvaluations => 1,
+            BusPhase::PolynomialOpening => 2,
+            // SumCheck→Forest, Forest→SumCheck, PermQuotGen→MSM.
+            BusPhase::WireIdentity => 3,
+        }
+    }
+}
+
+/// A shared-bus specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusSpec {
+    /// Independent channels.
+    pub channels: usize,
+    /// Payload bytes per channel per cycle (bit-sliced crossbar width).
+    pub bytes_per_cycle: usize,
+}
+
+impl BusSpec {
+    /// Aggregate on-chip bandwidth in GB/s at the 1 GHz clock.
+    pub fn aggregate_gbps(&self) -> f64 {
+        (self.channels * self.bytes_per_cycle) as f64
+    }
+
+    /// Whether the bus covers every phase's channel demand.
+    pub fn covers_all_phases(&self) -> bool {
+        self.channels >= BusPhase::WireIdentity.required_channels()
+    }
+}
+
+/// Peak aggregate port bandwidth (GB/s) the modules of `cfg` can demand —
+/// the quantity the paper reports as "up to 19 TB/s" for the exemplar.
+///
+/// Per module, ports × elements/cycle × element size:
+/// * SumCheck PEs stream 4 raw values in + 2 updated values out per MLE
+///   pair slot;
+/// * each Forest tree consumes two operands per cycle;
+/// * each MSM PE ingests one (point, scalar) pair per cycle;
+/// * MLE Combine streams one element per multiplier;
+/// * PermQuotGen reads witness+σ and writes N/D/ϕ per PE.
+pub fn peak_onchip_bandwidth_gbps(cfg: &ZkphireConfig) -> f64 {
+    let sumcheck = cfg.sumcheck.pes as f64 * 6.0 * ELEMENT_BYTES;
+    let forest = cfg.forest.trees as f64 * 2.0 * ELEMENT_BYTES;
+    let msm = cfg.msm.pes as f64 * (POINT_BYTES + ELEMENT_BYTES);
+    let combine = cfg.combine.muls as f64 * ELEMENT_BYTES;
+    let permquot = cfg.permquot.pes as f64 * 6.0 * ELEMENT_BYTES;
+    sumcheck + forest + msm + combine + permquot
+}
+
+/// Sizes a bus (64-byte channels) that covers both the phase-concurrency
+/// requirement and the configuration's peak bandwidth.
+pub fn provision_bus(cfg: &ZkphireConfig) -> BusSpec {
+    let bytes_per_cycle = 64;
+    let for_bandwidth =
+        (peak_onchip_bandwidth_gbps(cfg) / bytes_per_cycle as f64).ceil() as usize;
+    BusSpec {
+        channels: for_bandwidth.max(BusPhase::WireIdentity.required_channels()),
+        bytes_per_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemplar_peaks_near_19_tbps() {
+        // §IV-B6: "the peak bandwidth requirement reaches 19 TB/s".
+        let peak = peak_onchip_bandwidth_gbps(&ZkphireConfig::exemplar());
+        assert!(
+            peak > 15_000.0 && peak < 23_000.0,
+            "peak {peak} GB/s"
+        );
+    }
+
+    #[test]
+    fn wire_identity_needs_three_channels() {
+        assert_eq!(BusPhase::WireIdentity.required_channels(), 3);
+        assert!(BusPhase::GateIdentity.required_channels() < 3);
+    }
+
+    #[test]
+    fn provisioned_bus_covers_exemplar() {
+        let cfg = ZkphireConfig::exemplar();
+        let bus = provision_bus(&cfg);
+        assert!(bus.covers_all_phases());
+        assert!(bus.aggregate_gbps() >= peak_onchip_bandwidth_gbps(&cfg));
+    }
+
+    #[test]
+    fn small_designs_need_smaller_buses() {
+        let mut small = ZkphireConfig::exemplar();
+        small.msm.pes = 4;
+        small.sumcheck.pes = 2;
+        small.forest.trees = 16;
+        let big_bus = provision_bus(&ZkphireConfig::exemplar());
+        let small_bus = provision_bus(&small);
+        assert!(small_bus.channels < big_bus.channels);
+        assert!(small_bus.covers_all_phases());
+    }
+}

@@ -1,0 +1,351 @@
+//! Lowering schedules to the unit's instruction stream (paper §III-E).
+//!
+//! The automated scheduler does not just produce an abstract plan — the
+//! paper loads "a list of computational steps ... annotated with signals
+//! for control registers (e.g., MLE bank selection, arbitration, bypassing
+//! update), address offsets, and FSM configuration ... into on-chip
+//! controllers as instructions". [`lower`] performs that translation: the
+//! Fig. 2 schedule becomes a per-round [`ScProgram`] of [`ScInstruction`]s
+//! with bank assignments, prefetch ordering and lane arbitration
+//! (including the §III-D delay-buffer interleaving when `K > P`).
+
+use crate::profile::PolyProfile;
+use crate::sched::{schedule, Schedule};
+use crate::sumcheck_unit::SumcheckUnitConfig;
+
+/// One controller instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScInstruction {
+    /// FSM configuration for a round: table size class, lane count and
+    /// whether MLE Update is bypassed (round 1 reads raw tables).
+    ConfigureRound {
+        /// 1-based SumCheck round.
+        round: usize,
+        /// Product lanes active this round.
+        lanes: usize,
+        /// Update units bypassed (round 1 only).
+        bypass_update: bool,
+    },
+    /// Prefetch a tile of an MLE into a scratchpad bank (issued during
+    /// the *preceding* step, §III-C).
+    Prefetch {
+        /// Constituent MLE slot.
+        slot: usize,
+        /// Destination scratchpad bank.
+        bank: usize,
+    },
+    /// Route the Build-MLE lane's `f_r` output to its dedicated bank
+    /// (§III-F; round 1 only).
+    BuildEq {
+        /// Destination bank.
+        bank: usize,
+    },
+    /// Execute one scheduler node: feed `slots` to the Extension Engines,
+    /// multiply in the product lanes, optionally folding the Tmp buffer.
+    ExecNode {
+        /// Term index in the composite.
+        term: usize,
+        /// Node index within the term.
+        node: usize,
+        /// MLE slots consumed (with multiplicity), in EE order.
+        slots: Vec<usize>,
+        /// Source banks, parallel to `slots`.
+        banks: Vec<usize>,
+        /// Whether the Tmp accumulation buffer is an input.
+        uses_tmp: bool,
+        /// Extension points computed (early-exit aware).
+        points: usize,
+        /// Lane passes = ceil(points / lanes); passes beyond the first
+        /// consume the §III-D delay buffers.
+        lane_passes: usize,
+    },
+    /// Drain updated tables to the write-back FIFOs (rounds ≥ 2 while the
+    /// tables still live off-chip).
+    WriteBack {
+        /// Slot being drained.
+        slot: usize,
+    },
+    /// Hash the round evaluations and latch the next challenge (SHA3).
+    EmitRound {
+        /// Evaluations produced (`degree + 1`).
+        evaluations: usize,
+    },
+}
+
+/// A complete SumCheck program for one polynomial on one configuration.
+#[derive(Clone, Debug)]
+pub struct ScProgram {
+    /// The instruction stream in execution order.
+    pub instructions: Vec<ScInstruction>,
+    /// Rounds programmed.
+    pub rounds: usize,
+}
+
+impl ScProgram {
+    /// Instructions of a given round (by position of ConfigureRound markers).
+    pub fn round_slice(&self, round: usize) -> &[ScInstruction] {
+        let starts: Vec<usize> = self
+            .instructions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op {
+                ScInstruction::ConfigureRound { .. } => Some(i),
+                _ => None,
+            })
+            .collect();
+        let begin = starts[round - 1];
+        let end = starts.get(round).copied().unwrap_or(self.instructions.len());
+        &self.instructions[begin..end]
+    }
+
+    /// Total ExecNode instructions (the Fig. 2 step count × rounds).
+    pub fn exec_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|op| matches!(op, ScInstruction::ExecNode { .. }))
+            .count()
+    }
+}
+
+/// Assigns each distinct slot a scratchpad bank (round-robin over the 16
+/// banks, §III-B).
+fn bank_of(slot: usize) -> usize {
+    slot % SumcheckUnitConfig::BANKS
+}
+
+/// Lowers `profile` onto `cfg` as a `mu`-round instruction stream.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (`ees < 2`).
+pub fn lower(profile: &PolyProfile, cfg: &SumcheckUnitConfig, mu: usize) -> ScProgram {
+    assert!(cfg.ees >= 2, "need at least two Extension Engines");
+    let has_eq = profile.eq_slot.is_some();
+    let r1_ees = if has_eq { (cfg.ees - 1).max(2) } else { cfg.ees };
+    let r1_pls = if has_eq { (cfg.pls - 1).max(1) } else { cfg.pls };
+    let sched_r1: Schedule = schedule(profile, r1_ees, has_eq);
+    let sched_rest: Schedule = schedule(profile, cfg.ees, false);
+
+    let mut instructions = Vec::new();
+    for round in 1..=mu {
+        let (plan, lanes) = if round == 1 {
+            (&sched_r1, r1_pls)
+        } else {
+            (&sched_rest, cfg.pls)
+        };
+        instructions.push(ScInstruction::ConfigureRound {
+            round,
+            lanes,
+            bypass_update: round == 1,
+        });
+        if round == 1 {
+            if let Some(eq) = profile.eq_slot {
+                instructions.push(ScInstruction::BuildEq { bank: bank_of(eq) });
+            }
+        }
+
+        // Prefetch ordering (§III-C): the first node's inputs up front,
+        // then each node's inputs during the previous node's execution.
+        let mut execs: Vec<ScInstruction> = Vec::new();
+        let mut prefetches: Vec<Vec<ScInstruction>> = Vec::new();
+        let mut fetched: Vec<bool> = vec![false; profile.mle_kinds.len()];
+        if let Some(eq) = profile.eq_slot {
+            // f_r is produced on-chip in round 1 and re-fetched later.
+            fetched[eq] = round == 1;
+        }
+        for (t, term_plan) in plan.terms.iter().enumerate() {
+            for (n, node) in term_plan.nodes.iter().enumerate() {
+                let mut node_prefetch = Vec::new();
+                for &slot in &node.new_factors {
+                    if !fetched[slot] {
+                        fetched[slot] = true;
+                        node_prefetch.push(ScInstruction::Prefetch {
+                            slot,
+                            bank: bank_of(slot),
+                        });
+                    }
+                }
+                prefetches.push(node_prefetch);
+                execs.push(ScInstruction::ExecNode {
+                    term: t,
+                    node: n,
+                    slots: node.new_factors.clone(),
+                    banks: node.new_factors.iter().map(|&s| bank_of(s)).collect(),
+                    uses_tmp: node.uses_tmp,
+                    points: node.points,
+                    lane_passes: node.points.div_ceil(lanes),
+                });
+            }
+        }
+        // Interleave: prefetch for node i is issued before exec of node i,
+        // i.e. during exec of node i-1 (up front for i = 0).
+        for (prefetch, exec) in prefetches.into_iter().zip(execs) {
+            instructions.extend(prefetch);
+            instructions.push(exec);
+        }
+
+        // Write-back of updated tables (rounds >= 2; the simulator decides
+        // when tables fit on-chip, the program always carries the drains
+        // and the controller elides them — "bypassing" per §III-E).
+        if round >= 2 {
+            for &slot in &profile.unique_slots() {
+                instructions.push(ScInstruction::WriteBack { slot });
+            }
+        }
+        instructions.push(ScInstruction::EmitRound {
+            evaluations: profile.degree() + 1,
+        });
+    }
+    ScProgram {
+        instructions,
+        rounds: mu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkphire_poly::{high_degree_gate, table1_gate};
+
+    fn cfg() -> SumcheckUnitConfig {
+        SumcheckUnitConfig {
+            pes: 16,
+            ees: 4,
+            pls: 5,
+            bank_words: 1 << 12,
+            sparse_io: true,
+        }
+    }
+
+    fn vanilla_program(mu: usize) -> (PolyProfile, ScProgram) {
+        let p = PolyProfile::from_gate(&table1_gate(20));
+        let prog = lower(&p, &cfg(), mu);
+        (p, prog)
+    }
+
+    #[test]
+    fn one_configure_per_round() {
+        let (_, prog) = vanilla_program(6);
+        let configures = prog
+            .instructions
+            .iter()
+            .filter(|op| matches!(op, ScInstruction::ConfigureRound { .. }))
+            .count();
+        assert_eq!(configures, 6);
+        assert_eq!(prog.rounds, 6);
+    }
+
+    #[test]
+    fn round1_bypasses_update_and_builds_eq() {
+        let (_, prog) = vanilla_program(4);
+        let round1 = prog.round_slice(1);
+        assert!(matches!(
+            round1[0],
+            ScInstruction::ConfigureRound {
+                bypass_update: true,
+                ..
+            }
+        ));
+        assert!(round1
+            .iter()
+            .any(|op| matches!(op, ScInstruction::BuildEq { .. })));
+        // Later rounds must not rebuild f_r and must not bypass the update.
+        let round2 = prog.round_slice(2);
+        assert!(!round2
+            .iter()
+            .any(|op| matches!(op, ScInstruction::BuildEq { .. })));
+        assert!(matches!(
+            round2[0],
+            ScInstruction::ConfigureRound {
+                bypass_update: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn every_slot_prefetched_before_first_use() {
+        let (profile, prog) = vanilla_program(3);
+        for round in 1..=3 {
+            let mut available: Vec<bool> = vec![false; profile.mle_kinds.len()];
+            for op in prog.round_slice(round) {
+                match op {
+                    ScInstruction::Prefetch { slot, .. } => available[*slot] = true,
+                    ScInstruction::BuildEq { .. } => {
+                        available[profile.eq_slot.unwrap()] = true;
+                    }
+                    ScInstruction::ExecNode { slots, .. } => {
+                        for s in slots {
+                            assert!(available[*s], "round {round}: slot {s} used before fetch");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_assignments_are_legal_and_stable() {
+        let (_, prog) = vanilla_program(2);
+        for op in &prog.instructions {
+            if let ScInstruction::ExecNode { slots, banks, .. } = op {
+                assert_eq!(slots.len(), banks.len());
+                for (&s, &b) in slots.iter().zip(banks) {
+                    assert!(b < SumcheckUnitConfig::BANKS);
+                    assert_eq!(b, s % SumcheckUnitConfig::BANKS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_passes_implement_delay_buffers() {
+        // §III-D: K = 5 extensions on P = 3 lanes → 2 passes.
+        let p = PolyProfile::from_gate(&high_degree_gate(4)); // K = 5
+        let mut c = cfg();
+        c.pls = 3;
+        let prog = lower(&p, &c, 2);
+        let max_passes = prog
+            .instructions
+            .iter()
+            .filter_map(|op| match op {
+                ScInstruction::ExecNode {
+                    points,
+                    lane_passes,
+                    ..
+                } => {
+                    assert_eq!(*lane_passes, points.div_ceil(3));
+                    Some(*lane_passes)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_passes, 2);
+    }
+
+    #[test]
+    fn exec_count_matches_schedule_nodes() {
+        let p = PolyProfile::from_gate(&table1_gate(22));
+        let prog = lower(&p, &cfg(), 5);
+        let per_round_rest = schedule(&p, 4, false).total_nodes();
+        let per_round_r1 = schedule(&p, 3, true).total_nodes();
+        assert_eq!(prog.exec_count(), per_round_r1 + 4 * per_round_rest);
+    }
+
+    #[test]
+    fn writebacks_only_after_round_one() {
+        let (profile, prog) = vanilla_program(3);
+        assert!(!prog
+            .round_slice(1)
+            .iter()
+            .any(|op| matches!(op, ScInstruction::WriteBack { .. })));
+        let wb2 = prog
+            .round_slice(2)
+            .iter()
+            .filter(|op| matches!(op, ScInstruction::WriteBack { .. }))
+            .count();
+        assert_eq!(wb2, profile.unique_slots().len());
+    }
+}

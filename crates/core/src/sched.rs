@@ -1,0 +1,252 @@
+//! The graph-decomposition scheduler of paper Fig. 2 / §III-C.
+//!
+//! A term with more factors than there are Extension Engines is split into
+//! *nodes*: the first node extends and multiplies up to `E` factors, and
+//! every subsequent node folds up to `E - 1` new factors into the single
+//! Tmp-MLE accumulation buffer (the right-hand schedule of Fig. 2, which
+//! needs exactly one Tmp buffer regardless of degree — the left-hand
+//! balanced tree would need a growing set).
+//!
+//! The schedule also carries the early-exit extension counts: a node that
+//! has covered `c` factors so far only needs its products at
+//! `min(c + 1, K)` extension points, which is why runtime grows gradually
+//! with degree *within* a node-count cluster and jumps *between* clusters
+//! (paper Fig. 8 and §VI-A2).
+
+use crate::profile::{PolyProfile, TermProfile};
+
+/// One scheduler node: a batch of factors processed together on the EEs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSchedule {
+    /// Factors (slot ids, with multiplicity) newly folded in.
+    pub new_factors: Vec<usize>,
+    /// Whether the node multiplies against the Tmp accumulation buffer.
+    pub uses_tmp: bool,
+    /// Factors covered after this node (drives the early-exit `K`).
+    pub cumulative: usize,
+    /// Extension points this node computes products for.
+    pub points: usize,
+}
+
+/// The node sequence for one term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermSchedule {
+    /// Nodes in execution order.
+    pub nodes: Vec<NodeSchedule>,
+}
+
+/// A complete schedule: the program loaded into the on-chip controllers
+/// (§III-E).
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Per-term node sequences, in term order.
+    pub terms: Vec<TermSchedule>,
+    /// Extension-point budget `K = degree + 1` of the whole composite.
+    pub k_points: usize,
+    /// Extension Engines assumed by this schedule.
+    pub ees: usize,
+}
+
+/// Number of scheduler nodes for a term of `m` factors on `ees` engines
+/// (the Fig. 2 accumulation decomposition):
+/// `1` if `m <= E`, else `1 + ceil((m - E) / (E - 1))`.
+pub fn node_count(m: usize, ees: usize) -> usize {
+    assert!(ees >= 2, "need at least two Extension Engines");
+    if m <= ees {
+        1
+    } else {
+        1 + (m - ees).div_ceil(ees - 1)
+    }
+}
+
+/// Builds the schedule for `profile` on `ees` Extension Engines.
+///
+/// `exclude_eq` drops the fused `f_r` slot from factor lists (round 1,
+/// where the Build-MLE lane produces it — §III-F).
+pub fn schedule(profile: &PolyProfile, ees: usize, exclude_eq: bool) -> Schedule {
+    let k_points = profile.degree() + 1;
+    let eq = if exclude_eq { profile.eq_slot } else { None };
+    let terms = profile
+        .terms
+        .iter()
+        .map(|t| schedule_term(t, ees, eq, k_points))
+        .collect();
+    Schedule {
+        terms,
+        k_points,
+        ees,
+    }
+}
+
+fn schedule_term(
+    term: &TermProfile,
+    ees: usize,
+    exclude_slot: Option<usize>,
+    k_points: usize,
+) -> TermSchedule {
+    let factors = term.factors_excluding(exclude_slot);
+    // The term's own extension budget: its full degree + 1 (early exit for
+    // low-degree terms — §VI-A1 utilization factor 2), capped by K.
+    let term_k = (term.degree() + 1).min(k_points);
+    let mut nodes = Vec::new();
+    let mut remaining = factors.as_slice();
+    let mut cumulative = 0usize;
+    let mut first = true;
+    while !remaining.is_empty() || first {
+        let capacity = if first { ees } else { ees - 1 };
+        let take = remaining.len().min(capacity);
+        let (batch, rest) = remaining.split_at(take);
+        cumulative += take;
+        nodes.push(NodeSchedule {
+            new_factors: batch.to_vec(),
+            uses_tmp: !first,
+            cumulative,
+            points: (cumulative + 1).min(term_k),
+        });
+        remaining = rest;
+        first = false;
+    }
+    TermSchedule { nodes }
+}
+
+impl Schedule {
+    /// Total nodes across all terms (the step count of Fig. 2).
+    pub fn total_nodes(&self) -> usize {
+        self.terms.iter().map(|t| t.nodes.len()).sum()
+    }
+
+    /// Maximum concurrent Tmp-MLE buffers — always 1 for the accumulation
+    /// schedule (the property the right-hand side of Fig. 2 exists for).
+    pub fn tmp_buffers(&self) -> usize {
+        usize::from(
+            self.terms
+                .iter()
+                .any(|t| t.nodes.iter().any(|n| n.uses_tmp)),
+        )
+    }
+
+    /// Product-lane invocations per MLE-pair: `Σ_terms Σ_nodes
+    /// ceil(points / lanes)` — the per-pair cycle count of one PE.
+    pub fn cycles_per_pair(&self, lanes: usize) -> u64 {
+        assert!(lanes >= 1);
+        self.terms
+            .iter()
+            .flat_map(|t| &t.nodes)
+            .map(|n| n.points.div_ceil(lanes) as u64)
+            .sum()
+    }
+
+    /// Product-lane multiplications per MLE-pair (for utilization): each
+    /// node multiplies its new factors (and Tmp) at each of its points.
+    pub fn muls_per_pair(&self) -> u64 {
+        self.terms
+            .iter()
+            .flat_map(|t| &t.nodes)
+            .map(|n| {
+                let values = n.new_factors.len() + usize::from(n.uses_tmp);
+                (n.points * values.saturating_sub(1)) as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PolyProfile;
+    use zkphire_poly::{high_degree_gate, table1_gate};
+
+    #[test]
+    fn node_count_matches_paper_clusters() {
+        // §VI-A2: with 6 EEs, degree 1–6 polynomials have 1 node,
+        // degree 7–11 have 2.
+        for m in 1..=6 {
+            assert_eq!(node_count(m, 6), 1, "m={m}");
+        }
+        for m in 7..=11 {
+            assert_eq!(node_count(m, 6), 2, "m={m}");
+        }
+        assert_eq!(node_count(12, 6), 3);
+    }
+
+    #[test]
+    fn high_degree_family_follows_node_formula() {
+        for ees in 2..=7 {
+            for d in 2..=30 {
+                let p = PolyProfile::from_gate(&high_degree_gate(d));
+                let s = schedule(&p, ees, false);
+                let big_term = s
+                    .terms
+                    .iter()
+                    .map(|t| t.nodes.len())
+                    .max()
+                    .unwrap();
+                assert_eq!(big_term, node_count(d, ees), "d={d} ees={ees}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_factor_scheduled_exactly_once() {
+        let p = PolyProfile::from_gate(&table1_gate(22));
+        let s = schedule(&p, 3, false);
+        for (t, ts) in p.terms.iter().zip(&s.terms) {
+            let scheduled: usize = ts.nodes.iter().map(|n| n.new_factors.len()).sum();
+            assert_eq!(scheduled, t.factors.len());
+        }
+    }
+
+    #[test]
+    fn single_tmp_buffer() {
+        // The accumulation schedule never needs more than one Tmp MLE.
+        let p = PolyProfile::from_gate(&high_degree_gate(30));
+        let s = schedule(&p, 2, false);
+        assert_eq!(s.tmp_buffers(), 1);
+    }
+
+    #[test]
+    fn eq_exclusion_reduces_round1_factors() {
+        let p = PolyProfile::from_gate(&table1_gate(20));
+        let with_eq = schedule(&p, 7, false);
+        let without_eq = schedule(&p, 7, true);
+        let count = |s: &Schedule| -> usize {
+            s.terms
+                .iter()
+                .flat_map(|t| &t.nodes)
+                .map(|n| n.new_factors.len())
+                .sum()
+        };
+        assert_eq!(count(&with_eq), count(&without_eq) + p.terms.len());
+    }
+
+    #[test]
+    fn early_exit_points_are_monotone() {
+        let p = PolyProfile::from_gate(&high_degree_gate(18));
+        let s = schedule(&p, 4, false);
+        for t in &s.terms {
+            for w in t.nodes.windows(2) {
+                assert!(w[0].points <= w[1].points);
+            }
+            if let Some(last) = t.nodes.last() {
+                assert!(last.points <= s.k_points);
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_per_pair_decrease_with_lanes() {
+        let p = PolyProfile::from_gate(&table1_gate(22));
+        let s = schedule(&p, 4, false);
+        let c3 = s.cycles_per_pair(3);
+        let c8 = s.cycles_per_pair(8);
+        assert!(c8 < c3);
+    }
+
+    #[test]
+    fn single_factor_term_has_one_node() {
+        // q_C alone (plus f_r) still schedules.
+        let p = PolyProfile::from_gate(&table1_gate(20));
+        let s = schedule(&p, 2, true);
+        assert!(s.terms.iter().all(|t| !t.nodes.is_empty()));
+    }
+}

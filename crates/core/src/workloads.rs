@@ -1,0 +1,140 @@
+//! The paper's evaluation workloads (Tables VI and VII): published gate
+//! counts for Vanilla and Jellyfish arithmetizations plus the paper's
+//! measured CPU (32-thread EPYC 7502) and zkSpeed+ runtimes, used as
+//! baseline anchors per DESIGN.md substitution S2.
+
+/// One evaluation workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Workload name as printed in the paper.
+    pub name: &'static str,
+    /// log2 of the Vanilla gate count, if the paper reports one.
+    pub vanilla_log2: Option<usize>,
+    /// log2 of the Jellyfish gate count, if the paper reports one.
+    pub jellyfish_log2: Option<usize>,
+    /// Paper CPU runtime (ms) for the Vanilla arithmetization (Table VI).
+    pub cpu_vanilla_ms: Option<f64>,
+    /// Paper CPU runtime (ms) for the Jellyfish arithmetization (Table VII).
+    pub cpu_jellyfish_ms: Option<f64>,
+    /// Paper zkSpeed+ runtime (ms) for Vanilla gates (Table VI).
+    pub zkspeed_plus_ms: Option<f64>,
+}
+
+/// All workloads of Tables VI/VII, in Table VI order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ZCash",
+            vanilla_log2: Some(17),
+            jellyfish_log2: Some(15),
+            cpu_vanilla_ms: Some(1_429.0),
+            cpu_jellyfish_ms: Some(701.0),
+            zkspeed_plus_ms: Some(1.825),
+        },
+        Workload {
+            name: "Auction",
+            vanilla_log2: Some(20),
+            jellyfish_log2: None,
+            cpu_vanilla_ms: Some(8_619.0),
+            cpu_jellyfish_ms: None,
+            zkspeed_plus_ms: Some(10.171),
+        },
+        Workload {
+            name: "2^12 Rescue Hashes",
+            vanilla_log2: Some(21),
+            jellyfish_log2: Some(20),
+            cpu_vanilla_ms: Some(18_637.0),
+            cpu_jellyfish_ms: Some(11_532.0),
+            zkspeed_plus_ms: Some(19.631),
+        },
+        Workload {
+            name: "Zexe Recursive Ckt",
+            vanilla_log2: Some(22),
+            jellyfish_log2: Some(17),
+            cpu_vanilla_ms: Some(37_469.0),
+            cpu_jellyfish_ms: Some(1_951.0),
+            zkspeed_plus_ms: Some(38.535),
+        },
+        Workload {
+            name: "Rollup of 10 Pvt Tx",
+            vanilla_log2: Some(23),
+            jellyfish_log2: Some(18),
+            cpu_vanilla_ms: Some(74_052.0),
+            cpu_jellyfish_ms: Some(3_339.0),
+            zkspeed_plus_ms: Some(76.356),
+        },
+        Workload {
+            name: "Rollup of 25 Pvt Tx",
+            vanilla_log2: Some(24),
+            jellyfish_log2: Some(19),
+            cpu_vanilla_ms: Some(145_500.0),
+            cpu_jellyfish_ms: Some(6_161.0),
+            zkspeed_plus_ms: Some(151.973),
+        },
+        Workload {
+            name: "Rollup of 50 Pvt Tx",
+            vanilla_log2: Some(25),
+            jellyfish_log2: Some(20),
+            cpu_vanilla_ms: Some(325_048.0),
+            cpu_jellyfish_ms: Some(11_533.0),
+            zkspeed_plus_ms: None,
+        },
+        Workload {
+            name: "Rollup of 100 Pvt Tx",
+            vanilla_log2: Some(26),
+            jellyfish_log2: Some(21),
+            cpu_vanilla_ms: Some(640_987.0),
+            cpu_jellyfish_ms: Some(24_071.0),
+            zkspeed_plus_ms: None,
+        },
+        Workload {
+            name: "Rollup of 1600 Pvt Tx",
+            vanilla_log2: Some(30),
+            jellyfish_log2: Some(25),
+            cpu_vanilla_ms: None,
+            cpu_jellyfish_ms: Some(355_406.0),
+            zkspeed_plus_ms: None,
+        },
+        Workload {
+            name: "zkEVM",
+            vanilla_log2: None,
+            jellyfish_log2: Some(27),
+            cpu_vanilla_ms: None,
+            cpu_jellyfish_ms: Some(25.0 * 60.0 * 1000.0),
+            zkspeed_plus_ms: None,
+        },
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_workloads_in_table_order() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].name, "ZCash");
+        assert_eq!(all[9].name, "zkEVM");
+    }
+
+    #[test]
+    fn jellyfish_always_smaller_than_vanilla() {
+        for w in all_workloads() {
+            if let (Some(v), Some(j)) = (w.vanilla_log2, w.jellyfish_log2) {
+                assert!(j < v, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload("zkEVM").is_some());
+        assert!(workload("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,455 @@
+//! BLS12-381 G1 group arithmetic (Jacobian projective coordinates).
+//!
+//! The curve is `y^2 = x^3 + 4` over the 381-bit base field. The paper's
+//! MSM unit is built from fully pipelined point-addition (PADD) cores over
+//! exactly these coordinates (§V); this module is the functional
+//! counterpart, including the mixed-addition fast path the hardware uses
+//! when one operand comes straight from memory in affine form.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Neg};
+
+use rand::Rng;
+use zkphire_field::{Fq, Fr};
+
+/// The curve constant `b` in `y^2 = x^3 + b`.
+pub fn curve_b() -> Fq {
+    Fq::from_u64(4)
+}
+
+/// A G1 point in affine coordinates, or the point at infinity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct G1Affine {
+    /// x-coordinate (meaningless when `infinity` is set).
+    pub x: Fq,
+    /// y-coordinate (meaningless when `infinity` is set).
+    pub y: Fq,
+    /// Marks the group identity.
+    pub infinity: bool,
+}
+
+impl G1Affine {
+    /// The group identity.
+    pub const fn identity() -> Self {
+        Self {
+            x: Fq::ZERO,
+            y: Fq::ZERO,
+            infinity: true,
+        }
+    }
+
+    /// The standard BLS12-381 G1 generator.
+    pub fn generator() -> Self {
+        let x = Fq::from_canonical_limbs([
+            0xfb3a_f00a_db22_c6bb,
+            0x6c55_e83f_f97a_1aef,
+            0xa14e_3a3f_171b_ac58,
+            0xc368_8c4f_9774_b905,
+            0x2695_638c_4fa9_ac0f,
+            0x17f1_d3a7_3197_d794,
+        ])
+        .expect("generator x is canonical");
+        let y = Fq::from_canonical_limbs([
+            0x0caa_2329_46c5_e7e1,
+            0xd03c_c744_a288_8ae4,
+            0x00db_18cb_2c04_b3ed,
+            0xfcf5_e095_d5d0_0af6,
+            0xa09e_30ed_741d_8ae4,
+            0x08b3_f481_e3aa_a0f1,
+        ])
+        .expect("generator y is canonical");
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    /// Returns `true` if the point satisfies the curve equation (or is the
+    /// identity).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + curve_b()
+    }
+
+    /// Returns `true` for the group identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Multiplies by a scalar (double-and-add; see [`G1Projective::mul_fr`]).
+    pub fn mul_fr(&self, scalar: &Fr) -> G1Projective {
+        G1Projective::from(*self).mul_fr(scalar)
+    }
+
+    /// Samples a random group element as `generator * random_scalar`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generator()
+            .mul_fr(&Fr::random(rng))
+            .to_affine()
+    }
+
+    /// Serializes to uncompressed bytes (96 bytes; identity is all zeros
+    /// with a marker).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(97);
+        out.push(u8::from(self.infinity));
+        out.extend_from_slice(&self.x.to_le_bytes());
+        out.extend_from_slice(&self.y.to_le_bytes());
+        out
+    }
+}
+
+impl Default for G1Affine {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Neg for G1Affine {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+}
+
+impl fmt::Display for G1Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "G1(infinity)")
+        } else {
+            write!(f, "G1({:?}, {:?})", self.x, self.y)
+        }
+    }
+}
+
+/// A G1 point in Jacobian projective coordinates `(X, Y, Z)` representing
+/// the affine point `(X/Z^2, Y/Z^3)`; `Z = 0` is the identity.
+#[derive(Clone, Copy, Debug)]
+pub struct G1Projective {
+    x: Fq,
+    y: Fq,
+    z: Fq,
+}
+
+impl G1Projective {
+    /// The group identity.
+    pub const fn identity() -> Self {
+        Self {
+            x: Fq::ZERO,
+            y: Fq::ZERO,
+            z: Fq::ZERO,
+        }
+    }
+
+    /// The standard generator.
+    pub fn generator() -> Self {
+        G1Affine::generator().into()
+    }
+
+    /// Returns `true` for the group identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> G1Affine {
+        if self.is_identity() {
+            return G1Affine::identity();
+        }
+        let z_inv = self.z.inverse().expect("non-identity has z != 0");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2 * z_inv;
+        G1Affine {
+            x: self.x * z_inv2,
+            y: self.y * z_inv3,
+            infinity: false,
+        }
+    }
+
+    /// Doubles the point (`dbl-2009-l`, specialised to `a = 0`).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let mut d = (self.x + b).square() - a - c;
+        d = d.double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let eight_c = c.double().double().double();
+        let y3 = e * (d - x3) - eight_c;
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Adds a point given in affine coordinates (mixed addition — the
+    /// hardware PADD fast path for streamed bucket updates).
+    pub fn add_mixed(&self, rhs: &G1Affine) -> Self {
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return Self::from(*rhs);
+        }
+        let z1z1 = self.z.square();
+        let u2 = rhs.x * z1z1;
+        let s2 = rhs.y * self.z * z1z1;
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Multiplies by a scalar-field element.
+    pub fn mul_fr(&self, scalar: &Fr) -> Self {
+        self.mul_limbs(&scalar.to_canonical_limbs())
+    }
+
+    /// Multiplies by an arbitrary little-endian limb integer (used e.g. to
+    /// check the group order: `r * G == identity`).
+    pub fn mul_limbs(&self, limbs: &[u64]) -> Self {
+        let mut acc = Self::identity();
+        let mut started = false;
+        for limb in limbs.iter().rev() {
+            for bit_index in (0..64).rev() {
+                if started {
+                    acc = acc.double();
+                }
+                if (limb >> bit_index) & 1 == 1 {
+                    acc += *self;
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl Default for G1Projective {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl From<G1Affine> for G1Projective {
+    fn from(p: G1Affine) -> Self {
+        if p.infinity {
+            Self::identity()
+        } else {
+            Self {
+                x: p.x,
+                y: p.y,
+                z: Fq::ONE,
+            }
+        }
+    }
+}
+
+impl PartialEq for G1Projective {
+    /// Compares the underlying group elements (coordinate-system agnostic).
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                // X1 Z2^2 == X2 Z1^2 and Y1 Z2^3 == Y2 Z1^3
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+
+impl Eq for G1Projective {}
+
+impl Add for G1Projective {
+    type Output = Self;
+
+    /// Full Jacobian addition (`add-2007-bl` with doubling/identity handling).
+    fn add(self, rhs: Self) -> Self {
+        if self.is_identity() {
+            return rhs;
+        }
+        if rhs.is_identity() {
+            return self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * rhs.z * z2z2;
+        let s2 = rhs.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+}
+
+impl AddAssign for G1Projective {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for G1Projective {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+}
+
+impl Sum for G1Projective {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::identity(), |acc, p| acc + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkphire_field::{FieldParams, FrParams};
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(G1Affine::generator().is_on_curve());
+        assert!(G1Affine::identity().is_on_curve());
+    }
+
+    #[test]
+    fn generator_has_order_r() {
+        let g = G1Projective::generator();
+        let rg = g.mul_limbs(&FrParams::MODULUS);
+        assert!(rg.is_identity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let g = G1Projective::generator();
+        assert_eq!(g + g, g.double());
+        assert_eq!(g.mul_fr(&Fr::from_u64(2)), g.double());
+    }
+
+    #[test]
+    fn mixed_addition_matches_full() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..8 {
+            let p = G1Projective::generator().mul_fr(&Fr::random(&mut rng));
+            let q_affine = G1Affine::random(&mut rng);
+            assert_eq!(p.add_mixed(&q_affine), p + G1Projective::from(q_affine));
+        }
+    }
+
+    #[test]
+    fn mixed_addition_edge_cases() {
+        let g = G1Projective::generator();
+        let g_affine = G1Affine::generator();
+        // identity + P
+        assert_eq!(G1Projective::identity().add_mixed(&g_affine), g);
+        // P + identity
+        assert_eq!(g.add_mixed(&G1Affine::identity()), g);
+        // P + P (doubling path)
+        assert_eq!(g.add_mixed(&g_affine), g.double());
+        // P + (-P)
+        assert!(g.add_mixed(&-g_affine).is_identity());
+    }
+
+    #[test]
+    fn scalar_distributes_over_addition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = G1Projective::generator();
+        for _ in 0..4 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            assert_eq!(g.mul_fr(&(a + b)), g.mul_fr(&a) + g.mul_fr(&b));
+        }
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = G1Projective::generator().mul_fr(&Fr::random(&mut rng));
+        let q = G1Projective::generator().mul_fr(&Fr::random(&mut rng));
+        let r = G1Projective::generator().mul_fr(&Fr::random(&mut rng));
+        assert_eq!(p + q, q + p);
+        assert_eq!((p + q) + r, p + (q + r));
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = G1Projective::generator().mul_fr(&Fr::random(&mut rng));
+        let affine = p.to_affine();
+        assert!(affine.is_on_curve());
+        assert_eq!(G1Projective::from(affine), p);
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let g = G1Projective::generator();
+        assert!((g + (-g)).is_identity());
+    }
+
+    #[test]
+    fn mul_zero_and_one() {
+        let g = G1Projective::generator();
+        assert!(g.mul_fr(&Fr::ZERO).is_identity());
+        assert_eq!(g.mul_fr(&Fr::ONE), g);
+    }
+}

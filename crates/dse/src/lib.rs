@@ -1,0 +1,20 @@
+//! Design-space exploration (paper §VI-A1 objective, §VI-B1 Pareto
+//! methodology, Table III knobs).
+//!
+//! Two explorations mirror the paper's:
+//!
+//! * [`sumcheck_dse`] — standalone programmable-SumCheck designs under an
+//!   area cap, selected by the λ-objective
+//!   `min (1-λ)·geomean(slowdown) + λ·(1-mean(utilization))` over a
+//!   polynomial training set (Fig. 6/7);
+//! * [`full_system_dse`] — the Table III cross-product over full zkPHIRE
+//!   designs, yielding per-bandwidth and global Pareto frontiers over
+//!   (runtime, area) for a `2^µ`-gate workload (Fig. 10 / Table IV).
+
+pub mod objective;
+pub mod pareto;
+pub mod space;
+
+pub use objective::{select_design, sumcheck_dse, DesignScore, SumcheckDseResult};
+pub use pareto::{global_pareto, pareto_front, ParetoPoint};
+pub use space::{full_system_dse, DseSpace, FullSystemPoint};

@@ -1,0 +1,96 @@
+//! Pareto-frontier extraction over (runtime, area) design points
+//! (paper Fig. 10).
+
+/// A design point in the runtime/area plane, tagged with its bandwidth
+/// tier and an opaque configuration index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// End-to-end runtime (ms).
+    pub runtime_ms: f64,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+    /// Off-chip bandwidth (GB/s).
+    pub bandwidth_gbps: f64,
+    /// Index into the caller's configuration list.
+    pub config_index: usize,
+}
+
+/// Extracts the Pareto-optimal subset: points not dominated in both
+/// runtime and area, sorted by increasing runtime.
+pub fn pareto_front(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.sort_by(|a, b| {
+        a.runtime_ms
+            .partial_cmp(&b.runtime_ms)
+            .expect("finite runtimes")
+            .then(a.area_mm2.partial_cmp(&b.area_mm2).expect("finite areas"))
+    });
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let mut best_area = f64::INFINITY;
+    for p in points {
+        if p.area_mm2 < best_area {
+            best_area = p.area_mm2;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Merges per-bandwidth frontiers into the global frontier (the inset of
+/// Fig. 10).
+pub fn global_pareto(per_tier: &[Vec<ParetoPoint>]) -> Vec<ParetoPoint> {
+    pareto_front(per_tier.iter().flatten().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(runtime_ms: f64, area_mm2: f64) -> ParetoPoint {
+        ParetoPoint {
+            runtime_ms,
+            area_mm2,
+            bandwidth_gbps: 1024.0,
+            config_index: 0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let front = pareto_front(vec![p(10.0, 100.0), p(20.0, 200.0), p(5.0, 300.0)]);
+        // (20, 200) is dominated by (10, 100).
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().any(|q| q.runtime_ms == 5.0));
+        assert!(front.iter().any(|q| q.runtime_ms == 10.0));
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let points: Vec<ParetoPoint> = (0..100)
+            .map(|i| p(100.0 - i as f64 * 0.7, 10.0 + ((i * 37) % 89) as f64))
+            .collect();
+        let front = pareto_front(points);
+        for w in front.windows(2) {
+            assert!(w[0].runtime_ms <= w[1].runtime_ms);
+            assert!(w[0].area_mm2 >= w[1].area_mm2);
+        }
+    }
+
+    #[test]
+    fn all_nondominated_kept() {
+        let front = pareto_front(vec![p(1.0, 30.0), p(2.0, 20.0), p(3.0, 10.0)]);
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn global_merges_tiers() {
+        let tier_a = vec![p(10.0, 100.0)];
+        let tier_b = vec![p(5.0, 150.0), p(12.0, 90.0)];
+        let global = global_pareto(&[tier_a, tier_b]);
+        assert_eq!(global.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Low-level multi-precision limb arithmetic shared by every field width.
+//!
+//! All routines operate on little-endian `[u64; N]` limb arrays and are
+//! `const fn` where the derived Montgomery constants need them at
+//! compile time. The multiplication kernel is the classic CIOS
+//! (Coarsely Integrated Operand Scanning) Montgomery multiplier — the same
+//! algorithm the paper's HLS-generated 255/381-bit modular multipliers
+//! implement in hardware.
+
+/// Computes `a + b + carry`, returning the low word and the carry out.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Computes `a - b - borrow`, returning the low word and the borrow out (0 or 1).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Computes `a + b * c + carry`, returning the low word and the high word.
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Returns `true` when `a >= b` as little-endian multi-precision integers.
+#[inline]
+pub const fn geq<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
+    let mut i = N;
+    while i > 0 {
+        i -= 1;
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` when every limb of `a` is zero.
+#[inline]
+pub const fn is_zero<const N: usize>(a: &[u64; N]) -> bool {
+    let mut i = 0;
+    while i < N {
+        if a[i] != 0 {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Computes `a - b`, returning the difference and the borrow out (0 or 1).
+#[inline]
+pub const fn sub_limbs<const N: usize>(a: &[u64; N], b: &[u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (d, br) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = br;
+        i += 1;
+    }
+    (out, borrow)
+}
+
+/// Computes `a + b`, returning the sum and the carry out (0 or 1).
+#[inline]
+pub const fn add_limbs<const N: usize>(a: &[u64; N], b: &[u64; N]) -> ([u64; N], u64) {
+    let mut out = [0u64; N];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (s, c) = adc(a[i], b[i], carry);
+        out[i] = s;
+        carry = c;
+        i += 1;
+    }
+    (out, carry)
+}
+
+/// Computes `2^bits mod m` by repeated doubling.
+///
+/// Used at compile time to derive the Montgomery constants
+/// `R = 2^(64 N) mod m` and `R^2 = 2^(128 N) mod m`.
+pub const fn pow2_mod<const N: usize>(m: &[u64; N], bits: u32) -> [u64; N] {
+    let mut v = [0u64; N];
+    v[0] = 1;
+    let mut i = 0;
+    while i < bits {
+        // Double `v`, tracking the bit shifted out of the top limb.
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < N {
+            let hi = v[j] >> 63;
+            v[j] = (v[j] << 1) | carry;
+            carry = hi;
+            j += 1;
+        }
+        // v < m before doubling, so 2v < 2m: one subtraction restores range.
+        if carry != 0 || geq(&v, m) {
+            let (r, _) = sub_limbs(&v, m);
+            v = r;
+        }
+        i += 1;
+    }
+    v
+}
+
+/// Computes `-m^{-1} mod 2^64` for odd `m` (low limb `m0`) by Newton iteration.
+pub const fn mont_neg_inv(m0: u64) -> u64 {
+    // Each iteration doubles the number of correct low bits: 1 -> 64 in six steps.
+    let mut x: u64 = 1;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(x)));
+        i += 1;
+    }
+    x.wrapping_neg()
+}
+
+/// CIOS Montgomery multiplication: returns `a * b * 2^(-64 N) mod m`.
+///
+/// Inputs must be `< m`; the output is `< m`. `inv` is
+/// [`mont_neg_inv`]`(m[0])`.
+#[inline]
+pub fn mont_mul<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N], inv: u64) -> [u64; N] {
+    let mut t = [0u64; N];
+    let mut t_n = 0u64; // t[N]
+
+    let mut i = 0;
+    while i < N {
+        // t += a * b[i]
+        let mut c = 0u64;
+        let mut j = 0;
+        while j < N {
+            let (lo, hi) = mac(t[j], a[j], b[i], c);
+            t[j] = lo;
+            c = hi;
+            j += 1;
+        }
+        // t_mid = t[N], t_top = t[N + 1] (0 or 1)
+        let (t_mid, t_top) = adc(t_n, c, 0);
+
+        // Reduce: add k * m so the low limb cancels, then shift right one limb.
+        let k = t[0].wrapping_mul(inv);
+        let (_, mut c) = mac(t[0], k, m[0], 0);
+        let mut j = 1;
+        while j < N {
+            let (lo, hi) = mac(t[j], k, m[j], c);
+            t[j - 1] = lo;
+            c = hi;
+            j += 1;
+        }
+        let (lo, hi) = adc(t_mid, c, 0);
+        t[N - 1] = lo;
+        t_n = t_top + hi;
+        i += 1;
+    }
+
+    // t < 2m at this point; a single conditional subtraction finishes.
+    if t_n != 0 || geq(&t, m) {
+        let (r, _) = sub_limbs(&t, m);
+        t = r;
+    }
+    t
+}
+
+/// Modular addition of canonical representatives: `(a + b) mod m`.
+#[inline]
+pub fn add_mod<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N]) -> [u64; N] {
+    let (sum, carry) = add_limbs(a, b);
+    if carry != 0 || geq(&sum, m) {
+        let (r, _) = sub_limbs(&sum, m);
+        r
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction of canonical representatives: `(a - b) mod m`.
+#[inline]
+pub fn sub_mod<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N]) -> [u64; N] {
+    let (diff, borrow) = sub_limbs(a, b);
+    if borrow != 0 {
+        let (r, _) = add_limbs(&diff, m);
+        r
+    } else {
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: [u64; 2] = [0xffff_ffff_ffff_ffc5, 0xffff_ffff_ffff_ffff]; // 2^128 - 59 (prime)
+
+    #[test]
+    fn adc_sbb_roundtrip() {
+        let (s, c) = adc(u64::MAX, 1, 0);
+        assert_eq!((s, c), (0, 1));
+        let (d, b) = sbb(0, 1, 0);
+        assert_eq!((d, b), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_full_width() {
+        // u64::MAX^2 + u64::MAX + u64::MAX == 2^128 - 1
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn mont_neg_inv_is_inverse() {
+        for m0 in [1u64, 3, 0xffff_ffff_ffff_ffc5, M[0], 0x9876_5432_1234_5671] {
+            let inv = mont_neg_inv(m0);
+            // m0 * (-m0^-1) == -1 mod 2^64
+            assert_eq!(m0.wrapping_mul(inv).wrapping_add(1), 0);
+        }
+    }
+
+    #[test]
+    fn pow2_mod_small() {
+        // 2^128 mod (2^128 - 59) == 59
+        let r = pow2_mod(&M, 128);
+        assert_eq!(r, [59, 0]);
+        // 2^0 mod m == 1
+        assert_eq!(pow2_mod(&M, 0), [1, 0]);
+    }
+
+    #[test]
+    fn mont_mul_identity() {
+        let inv = mont_neg_inv(M[0]);
+        let r = pow2_mod(&M, 128); // R mod m
+        // mont_mul(x, R) == x for x < m
+        let x = [123_456_789u64, 42];
+        assert_eq!(mont_mul(&x, &r, &M, inv), x);
+    }
+
+    #[test]
+    fn add_sub_mod_roundtrip() {
+        let a = [5u64, 7];
+        let b = [9u64, 1];
+        let s = add_mod(&a, &b, &M);
+        let d = sub_mod(&s, &b, &M);
+        assert_eq!(d, a);
+        // subtraction that wraps through the modulus
+        let d2 = sub_mod(&b, &a, &M);
+        let s2 = add_mod(&d2, &a, &M);
+        assert_eq!(s2, b);
+    }
+}

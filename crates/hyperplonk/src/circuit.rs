@@ -1,0 +1,328 @@
+//! Plonk-style constraint systems: the Vanilla gate set and HyperPlonk's
+//! high-degree Jellyfish gate set (paper §II-C1, §II-C2).
+//!
+//! A circuit is `2^µ` gate rows over selector columns and witness columns,
+//! plus a copy-constraint permutation σ over all witness cells. The
+//! synthetic generators follow the paper's workload statistics
+//! (DESIGN.md S3): most rows idle (≈90%-sparse witnesses), active rows
+//! drawn from the gate repertoire (including the Rescue-style `w^5`
+//! S-box and the 4-ary ECC product that motivate Jellyfish gates).
+
+use rand::Rng;
+use zkphire_field::Fr;
+use zkphire_poly::{table1_gate, GateInfo, Mle, MleId};
+
+/// Which arithmetization a circuit uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateSystem {
+    /// Plonk's original add/mul gate (Table I row 20, degree 3 + `f_r`).
+    Vanilla,
+    /// HyperPlonk's Jellyfish gate with `w^5` and ECC terms (row 22).
+    Jellyfish,
+}
+
+impl GateSystem {
+    /// Number of selector columns (including the constant column `q_C`).
+    pub fn num_selectors(&self) -> usize {
+        match self {
+            Self::Vanilla => 5,
+            Self::Jellyfish => 13,
+        }
+    }
+
+    /// Number of witness columns.
+    pub fn num_witness_columns(&self) -> usize {
+        match self {
+            Self::Vanilla => 3,
+            Self::Jellyfish => 5,
+        }
+    }
+
+    /// The gate-identity constraint (Table I row 20 or 22). Slot layout:
+    /// selectors, then witnesses, then the trailing `f_r` slot.
+    pub fn gate(&self) -> GateInfo {
+        match self {
+            Self::Vanilla => table1_gate(20),
+            Self::Jellyfish => table1_gate(22),
+        }
+    }
+
+    /// The PermCheck constraint (Table I row 21 or 23). Slot layout:
+    /// `π, p1, p2, ϕ, D_1.., N_1.., f_r`, with scalar `α`.
+    pub fn perm_gate(&self) -> GateInfo {
+        match self {
+            Self::Vanilla => table1_gate(21),
+            Self::Jellyfish => table1_gate(23),
+        }
+    }
+
+    /// Slot of `f_r` in [`gate`](Self::gate)'s composite.
+    pub fn gate_eq_slot(&self) -> MleId {
+        MleId(self.num_selectors() + self.num_witness_columns())
+    }
+
+    /// Slot of `f_r` in [`perm_gate`](Self::perm_gate)'s composite.
+    pub fn perm_eq_slot(&self) -> MleId {
+        // π, p1, p2, ϕ + 2W numerator/denominator columns.
+        MleId(4 + 2 * self.num_witness_columns())
+    }
+
+    /// Short protocol tag for transcript domain separation.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Vanilla => "vanilla",
+            Self::Jellyfish => "jellyfish",
+        }
+    }
+}
+
+/// A constraint system: selectors plus the wiring permutation.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    /// Gate repertoire.
+    pub system: GateSystem,
+    /// log2 of the row count.
+    pub num_vars: usize,
+    /// Selector MLEs in the slot order of [`GateSystem::gate`].
+    pub selectors: Vec<Mle>,
+    /// Wiring permutation over global cells (`column * n + row`).
+    pub sigma: Vec<usize>,
+}
+
+/// A witness assignment: one MLE per witness column.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Witness columns in gate slot order.
+    pub columns: Vec<Mle>,
+}
+
+impl Circuit {
+    /// Number of gate rows.
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// Total witness cells (`columns * rows`).
+    pub fn num_cells(&self) -> usize {
+        self.system.num_witness_columns() * self.num_rows()
+    }
+
+    /// Checks every gate row and every copy constraint.
+    pub fn is_satisfied(&self, witness: &Witness) -> bool {
+        let n = self.num_rows();
+        let w_cols = self.system.num_witness_columns();
+        if witness.columns.len() != w_cols {
+            return false;
+        }
+        // Gate identities (evaluate the raw gate, f_r slot bound to 1).
+        let gate = self.system.gate();
+        let mut values = vec![Fr::ZERO; gate.poly.num_mles()];
+        for row in 0..n {
+            for (s, sel) in self.selectors.iter().enumerate() {
+                values[s] = sel.evals()[row];
+            }
+            for (w, col) in witness.columns.iter().enumerate() {
+                values[self.system.num_selectors() + w] = col.evals()[row];
+            }
+            values[self.system.gate_eq_slot().0] = Fr::ONE;
+            if !gate.poly.evaluate_with_mle_values(&values).is_zero() {
+                return false;
+            }
+        }
+        // Copy constraints: w[cell] == w[σ(cell)].
+        let cell_value = |cell: usize| witness.columns[cell / n].evals()[cell % n];
+        (0..self.num_cells()).all(|cell| cell_value(cell) == cell_value(self.sigma[cell]))
+    }
+
+    /// Generates a random *satisfied* circuit + witness with roughly
+    /// `active_fraction` non-idle rows and copy constraints wiring outputs
+    /// of earlier gates into inputs of later ones.
+    pub fn random<R: Rng + ?Sized>(
+        system: GateSystem,
+        num_vars: usize,
+        active_fraction: f64,
+        rng: &mut R,
+    ) -> (Self, Witness) {
+        let n = 1usize << num_vars;
+        let n_sel = system.num_selectors();
+        let w_cols = system.num_witness_columns();
+        let mut selectors = vec![vec![Fr::ZERO; n]; n_sel];
+        let mut witness = vec![vec![Fr::ZERO; n]; w_cols];
+        let mut sigma: Vec<usize> = (0..w_cols * n).collect();
+
+        // Outputs of earlier rows that may be copied into later inputs:
+        // (cell index, value). Each used at most once (2-cycles in sigma).
+        let mut available_outputs: Vec<(usize, Fr)> = Vec::new();
+        let out_col = w_cols - 1;
+
+        for row in 0..n {
+            if !rng.gen_bool(active_fraction) {
+                continue; // idle row: all-zero selectors and witnesses
+            }
+            // Inputs: fresh random, sparse-random, or copied from an output.
+            // (Indexing by column is intentional: `cell` needs `col`.)
+            let num_inputs = w_cols - 1;
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..num_inputs {
+                let cell = col * n + row;
+                if !available_outputs.is_empty() && rng.gen_bool(0.3) {
+                    let (src_cell, value) =
+                        available_outputs.swap_remove(rng.gen_range(0..available_outputs.len()));
+                    witness[col][row] = value;
+                    sigma.swap(cell, src_cell);
+                } else if rng.gen_bool(0.5) {
+                    witness[col][row] = Fr::random(rng);
+                } // else stays zero (sparsity)
+            }
+
+            let w_row: Vec<Fr> = (0..w_cols).map(|c| witness[c][row]).collect();
+            let out = match system {
+                GateSystem::Vanilla => {
+                    // Selector layout: q_L q_R q_M q_O q_C.
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            selectors[0][row] = Fr::ONE;
+                            selectors[1][row] = Fr::ONE;
+                            selectors[3][row] = Fr::ONE;
+                            w_row[0] + w_row[1]
+                        }
+                        1 => {
+                            selectors[2][row] = Fr::ONE;
+                            selectors[3][row] = Fr::ONE;
+                            w_row[0] * w_row[1]
+                        }
+                        _ => {
+                            let c = Fr::random(rng);
+                            selectors[4][row] = c;
+                            selectors[3][row] = Fr::ONE;
+                            c
+                        }
+                    }
+                }
+                GateSystem::Jellyfish => {
+                    // Selector layout: q1 q2 q3 q4 qM1 qM2 qH1..qH4 qO qecc qC.
+                    selectors[10][row] = Fr::ONE; // q_O
+                    match rng.gen_range(0..5) {
+                        0 => {
+                            selectors[0][row] = Fr::ONE;
+                            selectors[1][row] = Fr::ONE;
+                            w_row[0] + w_row[1]
+                        }
+                        1 => {
+                            selectors[4][row] = Fr::ONE;
+                            w_row[0] * w_row[1]
+                        }
+                        2 => {
+                            // Rescue S-box: w1^5.
+                            selectors[6][row] = Fr::ONE;
+                            let w1 = w_row[0];
+                            w1 * w1 * w1 * w1 * w1
+                        }
+                        3 => {
+                            selectors[11][row] = Fr::ONE;
+                            w_row[0] * w_row[1] * w_row[2] * w_row[3]
+                        }
+                        _ => {
+                            let c = Fr::random(rng);
+                            selectors[12][row] = c;
+                            c
+                        }
+                    }
+                }
+            };
+            witness[out_col][row] = out;
+            available_outputs.push((out_col * n + row, out));
+        }
+
+        let circuit = Self {
+            system,
+            num_vars,
+            selectors: selectors.into_iter().map(Mle::new).collect(),
+            sigma,
+        };
+        let witness = Witness {
+            columns: witness.into_iter().map(Mle::new).collect(),
+        };
+        debug_assert!(circuit.is_satisfied(&witness));
+        (circuit, witness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_vanilla_is_satisfied() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (circuit, witness) = Circuit::random(GateSystem::Vanilla, 5, 0.4, &mut rng);
+        assert!(circuit.is_satisfied(&witness));
+    }
+
+    #[test]
+    fn random_jellyfish_is_satisfied() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (circuit, witness) = Circuit::random(GateSystem::Jellyfish, 5, 0.4, &mut rng);
+        assert!(circuit.is_satisfied(&witness));
+    }
+
+    #[test]
+    fn tampered_witness_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (circuit, mut witness) = Circuit::random(GateSystem::Vanilla, 5, 0.9, &mut rng);
+        // Corrupt an output cell.
+        let bad = witness.columns[2].evals()[7] + Fr::ONE;
+        witness.columns[2].evals_mut()[7] = bad;
+        assert!(!circuit.is_satisfied(&witness));
+    }
+
+    #[test]
+    fn sigma_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (circuit, _) = Circuit::random(GateSystem::Jellyfish, 6, 0.5, &mut rng);
+        let mut seen = vec![false; circuit.num_cells()];
+        for &s in &circuit.sigma {
+            assert!(!seen[s]);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn copy_constraints_are_nontrivial() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (circuit, _) = Circuit::random(GateSystem::Vanilla, 8, 0.8, &mut rng);
+        let nontrivial = circuit
+            .sigma
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| *i != s)
+            .count();
+        assert!(nontrivial > 0, "expected some copy constraints");
+    }
+
+    #[test]
+    fn witness_is_sparse_at_low_activity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, witness) = Circuit::random(GateSystem::Jellyfish, 9, 0.1, &mut rng);
+        for col in &witness.columns {
+            assert!(col.zero_fraction() > 0.7, "zero fraction {}", col.zero_fraction());
+        }
+    }
+
+    #[test]
+    fn slot_layouts_match_gate_library() {
+        for system in [GateSystem::Vanilla, GateSystem::Jellyfish] {
+            let gate = system.gate();
+            assert_eq!(
+                gate.poly.num_mles(),
+                system.num_selectors() + system.num_witness_columns() + 1
+            );
+            assert_eq!(system.gate_eq_slot().0, gate.poly.num_mles() - 1);
+            let perm = system.perm_gate();
+            assert_eq!(system.perm_eq_slot().0, perm.poly.num_mles() - 1);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The HyperPlonk prover: the five protocol steps of paper §IV-A.
+//!
+//! 1. **Witness Commitments** — one (sparse) MSM per witness column;
+//! 2. **Gate Identity** — ZeroCheck of the gate composite × `f_r`;
+//! 3. **Wire Identity** — N/D/ϕ/π construction (the Permutation Quotient
+//!    Generator + Multifunction Forest dataflow), commitments, and the
+//!    PermCheck SumCheck;
+//! 4. **Batch Evaluations** — evaluation claims for every committed
+//!    polynomial at every challenge point;
+//! 5. **Polynomial Opening** — the OpenCheck SumCheck that merges all
+//!    claims into one point, an MLE Combine, and a single PCS opening.
+
+use zkphire_field::Fr;
+use zkphire_pcs::Commitment;
+use zkphire_poly::{CompositePoly, Mle, MleId, Term};
+use zkphire_sumcheck::{prove as sumcheck_prove, prove_zero_check};
+use zkphire_transcript::Transcript;
+
+use crate::circuit::{GateSystem, Witness};
+use crate::keys::ProvingKey;
+use crate::permutation::{build_permutation_data, index_point, root_index};
+use crate::proof::{claim_layout, num_distinct_polys, HyperPlonkProof, NUM_POINTS};
+
+/// Builds the OpenCheck composite: claim `j` contributes
+/// `η_j · poly_j(x) · eq(point_j, x)` (the Table I row-24 structure).
+pub(crate) fn opencheck_composite(system: GateSystem, etas: &[Fr]) -> CompositePoly {
+    let k_p = num_distinct_polys(system);
+    let terms = claim_layout(system)
+        .iter()
+        .zip(etas)
+        .map(|(&(poly, point), &eta)| Term {
+            coeff: eta,
+            scalars: vec![],
+            factors: vec![MleId(poly), MleId(k_p + point)],
+        })
+        .collect();
+    CompositePoly::new(terms)
+}
+
+/// Binds the public statement (system, size, preprocessed commitments)
+/// into the transcript. Shared by prover and verifier.
+pub(crate) fn bind_statement(
+    transcript: &mut Transcript,
+    system: GateSystem,
+    num_vars: usize,
+    selector_commitments: &[Commitment],
+    sigma_commitments: &[Commitment],
+) {
+    transcript.append_bytes(b"hyperplonk/system", system.tag().as_bytes());
+    transcript.append_u64(b"hyperplonk/num_vars", num_vars as u64);
+    for c in selector_commitments {
+        transcript.append_bytes(b"hyperplonk/vk/selector", &c.to_bytes());
+    }
+    for c in sigma_commitments {
+        transcript.append_bytes(b"hyperplonk/vk/sigma", &c.to_bytes());
+    }
+}
+
+/// Generates a HyperPlonk proof for `witness` under `pk`.
+///
+/// # Panics
+///
+/// Panics if the witness shape does not match the circuit. (An unsatisfied
+/// witness does not panic — it yields a proof the verifier rejects.)
+pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) -> HyperPlonkProof {
+    let system = pk.circuit.system;
+    let mu = pk.circuit.num_vars;
+    let n = 1usize << mu;
+    let s = system.num_selectors();
+    let w_cols = system.num_witness_columns();
+    assert_eq!(witness.columns.len(), w_cols, "witness column count");
+
+    bind_statement(
+        transcript,
+        system,
+        mu,
+        &pk.selector_commitments,
+        &pk.sigma_commitments,
+    );
+
+    // Step 1 — Witness Commitments.
+    let witness_commitments: Vec<Commitment> = witness
+        .columns
+        .iter()
+        .map(|c| pk.pcs.commit(c))
+        .collect();
+    for c in &witness_commitments {
+        transcript.append_bytes(b"hyperplonk/witness", &c.to_bytes());
+    }
+
+    // Step 2 — Gate Identity ZeroCheck.
+    let gate = system.gate();
+    let mut gate_mles: Vec<Mle> = pk.circuit.selectors.clone();
+    gate_mles.extend(witness.columns.iter().cloned());
+    gate_mles.push(Mle::zero(mu)); // f_r placeholder, filled by ZeroCheck
+    let (gate_out, _) =
+        prove_zero_check(&gate.poly, system.gate_eq_slot(), gate_mles, transcript);
+    let x_zc = gate_out.challenges.clone();
+
+    // Step 3 — Wire Identity.
+    let beta = transcript.challenge_fr(b"hyperplonk/beta");
+    let gamma = transcript.challenge_fr(b"hyperplonk/gamma");
+    let perm = build_permutation_data(&witness.columns, &pk.circuit.sigma, beta, gamma);
+    let perm_commitments = [
+        pk.pcs.commit(&perm.phi),
+        pk.pcs.commit(&perm.pi),
+        pk.pcs.commit(&perm.p1),
+        pk.pcs.commit(&perm.p2),
+    ];
+    for c in &perm_commitments {
+        transcript.append_bytes(b"hyperplonk/perm", &c.to_bytes());
+    }
+    let alpha = transcript.challenge_fr(b"hyperplonk/alpha");
+    let perm_poly = system.perm_gate().poly.specialize(&[alpha]);
+    let mut perm_mles = vec![
+        perm.pi.clone(),
+        perm.p1.clone(),
+        perm.p2.clone(),
+        perm.phi.clone(),
+    ];
+    perm_mles.extend(perm.denominators.iter().cloned());
+    perm_mles.extend(perm.numerators.iter().cloned());
+    perm_mles.push(Mle::zero(mu)); // f_r placeholder
+    let (perm_out, _) =
+        prove_zero_check(&perm_poly, system.perm_eq_slot(), perm_mles, transcript);
+    let x_pc = perm_out.challenges.clone();
+
+    // Step 4 — Batch Evaluations. Claims already bound inside the two
+    // SumChecks are reused; the remaining ones are evaluated here.
+    let mut extra_evals: Vec<Fr> = witness.columns.iter().map(|w| w.evaluate(&x_pc)).collect();
+    extra_evals.extend(pk.sigma_mles.iter().map(|sg| sg.evaluate(&x_pc)));
+    transcript.append_frs(b"hyperplonk/extra_evals", &extra_evals);
+
+    let layout = claim_layout(system);
+    let mut claim_values = Vec::with_capacity(layout.len());
+    // Selectors + witnesses at the gate point.
+    claim_values.extend_from_slice(&gate_out.proof.final_mle_evals[..s + w_cols]);
+    // π, p1, p2, ϕ at the PermCheck point.
+    claim_values.extend_from_slice(&perm_out.proof.final_mle_evals[..4]);
+    // Witnesses + sigmas at the PermCheck point.
+    claim_values.extend_from_slice(&extra_evals);
+    // π at the root index: the grand product must be one.
+    claim_values.push(Fr::ONE);
+    debug_assert_eq!(claim_values.len(), layout.len());
+
+    // Step 5 — OpenCheck + MLE Combine + single opening.
+    let etas = transcript.challenge_frs(b"hyperplonk/opencheck/eta", layout.len());
+    let oc_poly = opencheck_composite(system, &etas);
+    let k_p = num_distinct_polys(system);
+    let mut oc_mles: Vec<Mle> = Vec::with_capacity(k_p + NUM_POINTS);
+    oc_mles.extend(pk.circuit.selectors.iter().cloned());
+    oc_mles.extend(witness.columns.iter().cloned());
+    oc_mles.extend(pk.sigma_mles.iter().cloned());
+    oc_mles.push(perm.phi.clone());
+    oc_mles.push(perm.pi.clone());
+    oc_mles.push(perm.p1.clone());
+    oc_mles.push(perm.p2.clone());
+    oc_mles.push(Mle::eq_table(&x_zc));
+    oc_mles.push(Mle::eq_table(&x_pc));
+    oc_mles.push(Mle::eq_table(&index_point(root_index(n), mu)));
+    let combine_inputs = oc_mles[..k_p].to_vec();
+    let oc_out = sumcheck_prove(&oc_poly, oc_mles, transcript);
+    let r_star = oc_out.challenges.clone();
+
+    // MLE Combine: g = Σ ζ_i poly_i, opened once.
+    let zetas = transcript.challenge_frs(b"hyperplonk/combine/zeta", k_p);
+    let g = Mle::from_fn(mu, |row| {
+        combine_inputs
+            .iter()
+            .zip(&zetas)
+            .map(|(m, z)| m.evals()[row] * *z)
+            .sum()
+    });
+    let (opening, opening_value) = pk.pcs.open(&g, &r_star);
+
+    HyperPlonkProof {
+        witness_commitments,
+        gate_zerocheck: gate_out.proof,
+        perm_commitments,
+        perm_zerocheck: perm_out.proof,
+        extra_evals,
+        opencheck: oc_out.proof,
+        opening,
+        opening_value,
+    }
+}

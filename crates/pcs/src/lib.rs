@@ -1,0 +1,317 @@
+//! Multilinear polynomial commitment scheme (PST13-style multilinear KZG).
+//!
+//! HyperPlonk commits to MLE tables with a pairing-based multilinear KZG
+//! scheme whose prover-side kernels — Lagrange-basis MSMs for commitments
+//! and quotient MSMs for openings — are exactly what zkPHIRE's MSM unit
+//! accelerates (paper §II-B, §IV-A). This crate implements the full prover
+//! side over BLS12-381 G1.
+//!
+//! # Verification substitution (DESIGN.md S1)
+//!
+//! The paper's verifier checks openings with a BLS12-381 pairing; the
+//! *accelerator never computes pairings*. Here [`TrapdoorVerifier`] checks
+//! the same equation in the exponent using the setup secret `τ`
+//! (`C - y·g == Σ (τ_i - z_i)·π_i`), which is sound given trapdoor
+//! knowledge and exercises none of the prover code paths differently. A
+//! production deployment would replace only [`TrapdoorVerifier::verify`]
+//! with a pairing check.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use zkphire_field::Fr;
+//! use zkphire_pcs::MultilinearKzg;
+//! use zkphire_poly::Mle;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (pcs, verifier) = MultilinearKzg::setup(4, &mut rng);
+//! let f = Mle::from_fn(4, |i| Fr::from_u64(i as u64 + 1));
+//! let commitment = pcs.commit(&f);
+//! let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+//! let (proof, value) = pcs.open(&f, &point);
+//! assert!(verifier.verify(&commitment, &point, value, &proof));
+//! ```
+
+use rand::Rng;
+use zkphire_curve::{msm, G1Affine, G1Projective};
+use zkphire_field::Fr;
+use zkphire_poly::Mle;
+
+/// A commitment to a multilinear polynomial (one G1 point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commitment(pub G1Affine);
+
+impl Commitment {
+    /// Compressed wire size in bytes (48-byte compressed G1, the
+    /// convention behind the paper's proof-size numbers in Table IX).
+    pub const COMPRESSED_SIZE: usize = 48;
+
+    /// Serializes for transcript absorption.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+}
+
+/// An opening proof: one quotient commitment per variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpeningProof {
+    /// `π_i = commit(q_i)` where `f(X) - f(z) = Σ_i (X_i - z_i) q_i`.
+    pub quotients: Vec<G1Affine>,
+}
+
+impl OpeningProof {
+    /// Compressed wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.quotients.len() * Commitment::COMPRESSED_SIZE
+    }
+}
+
+/// Prover-side multilinear KZG: the structured reference string in
+/// Lagrange basis, one level per suffix of the variables.
+#[derive(Clone, Debug)]
+pub struct MultilinearKzg {
+    num_vars: usize,
+    /// `levels[j][b] = g * eq_b(τ_{j+1..µ})`; level 0 commits full MLEs,
+    /// level `i+1` commits the `i`-th opening quotient, level µ is `[g]`.
+    levels: Vec<Vec<G1Affine>>,
+}
+
+/// Verifier with trapdoor knowledge (substitution S1 — see crate docs).
+#[derive(Clone, Debug)]
+pub struct TrapdoorVerifier {
+    tau: Vec<Fr>,
+}
+
+impl MultilinearKzg {
+    /// Runs the (simulated) universal setup for up to `num_vars` variables,
+    /// returning the prover SRS and the trapdoor verifier.
+    pub fn setup<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> (Self, TrapdoorVerifier) {
+        let tau: Vec<Fr> = (0..num_vars).map(|_| Fr::random(rng)).collect();
+        (Self::from_tau(&tau), TrapdoorVerifier { tau })
+    }
+
+    /// Builds the SRS from an explicit secret (deterministic tests).
+    pub fn from_tau(tau: &[Fr]) -> Self {
+        let num_vars = tau.len();
+        let g = G1Projective::generator();
+        // Fixed-base table: g * 2^i for fast repeated scalar mults.
+        let mut pow2 = Vec::with_capacity(256);
+        let mut acc = g;
+        for _ in 0..256 {
+            pow2.push(acc);
+            acc = acc.double();
+        }
+        let fixed_base_mul = |s: &Fr| -> G1Projective {
+            let limbs = s.to_canonical_limbs();
+            let mut out = G1Projective::identity();
+            for (i, table_entry) in pow2.iter().enumerate() {
+                if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                    out += *table_entry;
+                }
+            }
+            out
+        };
+
+        let levels = (0..=num_vars)
+            .map(|j| {
+                let eq = Mle::eq_table(&tau[j..]);
+                eq.evals()
+                    .iter()
+                    .map(|s| fixed_base_mul(s).to_affine())
+                    .collect()
+            })
+            .collect();
+        Self { num_vars, levels }
+    }
+
+    /// Maximum number of variables this SRS supports.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Commits to an MLE with a Lagrange-basis MSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MLE has more variables than the SRS supports.
+    pub fn commit(&self, mle: &Mle) -> Commitment {
+        let level = self.level_for(mle.num_vars());
+        Commitment(msm(level, mle.evals()).to_affine())
+    }
+
+    /// Opens `mle` at `point`, returning the proof and the claimed value.
+    ///
+    /// The quotient computation is the MLE-Update dataflow: at step `i` the
+    /// quotient is the pairwise-difference table and the polynomial is
+    /// halved by fixing `X_i = z_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch with the SRS or point.
+    pub fn open(&self, mle: &Mle, point: &[Fr]) -> (OpeningProof, Fr) {
+        assert_eq!(point.len(), mle.num_vars(), "opening point arity");
+        let offset = self.num_vars - mle.num_vars();
+        let mut current = mle.clone();
+        let mut quotients = Vec::with_capacity(point.len());
+        for (i, &z) in point.iter().enumerate() {
+            let half = current.len() / 2;
+            let q: Vec<Fr> = (0..half)
+                .map(|j| current.evals()[2 * j + 1] - current.evals()[2 * j])
+                .collect();
+            let level = &self.levels[offset + i + 1];
+            quotients.push(msm(level, &q).to_affine());
+            current = current.fix_first_variable(z);
+        }
+        (OpeningProof { quotients }, current.evals()[0])
+    }
+
+    fn level_for(&self, num_vars: usize) -> &[G1Affine] {
+        assert!(
+            num_vars <= self.num_vars,
+            "SRS supports {} variables, MLE has {}",
+            self.num_vars,
+            num_vars
+        );
+        &self.levels[self.num_vars - num_vars]
+    }
+}
+
+impl TrapdoorVerifier {
+    /// Checks an opening: `C - y·g == Σ_i (τ_i - z_i)·π_i` (the pairing
+    /// equation evaluated in the exponent; see crate docs).
+    pub fn verify(
+        &self,
+        commitment: &Commitment,
+        point: &[Fr],
+        value: Fr,
+        proof: &OpeningProof,
+    ) -> bool {
+        let offset = self.tau.len() - point.len();
+        if proof.quotients.len() != point.len() {
+            return false;
+        }
+        let g = G1Projective::generator();
+        let lhs = G1Projective::from(commitment.0) + (-g.mul_fr(&value));
+        let mut rhs = G1Projective::identity();
+        for (i, (&z, q)) in point.iter().zip(&proof.quotients).enumerate() {
+            let scale = self.tau[offset + i] - z;
+            rhs += G1Projective::from(*q).mul_fr(&scale);
+        }
+        lhs == rhs
+    }
+
+    /// Directly computes the commitment an MLE *should* have (test oracle:
+    /// `g * f(τ)`).
+    pub fn expected_commitment(&self, mle: &Mle) -> Commitment {
+        let offset = self.tau.len() - mle.num_vars();
+        let value = mle.evaluate(&self.tau[offset..]);
+        Commitment(G1Projective::generator().mul_fr(&value).to_affine())
+    }
+}
+
+/// Homomorphically combines commitments: `commit(Σ c_i f_i) = Σ c_i C_i`.
+/// Used by the Polynomial Opening step's MLE Combine (paper §IV-B4).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn combine_commitments(commitments: &[Commitment], coeffs: &[Fr]) -> Commitment {
+    assert_eq!(commitments.len(), coeffs.len());
+    let points: Vec<G1Affine> = commitments.iter().map(|c| c.0).collect();
+    Commitment(msm(&points, coeffs).to_affine())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(num_vars: usize, seed: u64) -> (MultilinearKzg, TrapdoorVerifier, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pcs, verifier) = MultilinearKzg::setup(num_vars, &mut rng);
+        (pcs, verifier, rng)
+    }
+
+    #[test]
+    fn commitment_matches_trapdoor_oracle() {
+        let (pcs, verifier, mut rng) = setup(5, 1);
+        let f = Mle::from_fn(5, |_| Fr::random(&mut rng));
+        assert_eq!(pcs.commit(&f), verifier.expected_commitment(&f));
+    }
+
+    #[test]
+    fn open_verify_roundtrip() {
+        let (pcs, verifier, mut rng) = setup(5, 2);
+        let f = Mle::from_fn(5, |_| Fr::random(&mut rng));
+        let c = pcs.commit(&f);
+        let point: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        let (proof, value) = pcs.open(&f, &point);
+        assert_eq!(value, f.evaluate(&point));
+        assert!(verifier.verify(&c, &point, value, &proof));
+    }
+
+    #[test]
+    fn wrong_value_rejected() {
+        let (pcs, verifier, mut rng) = setup(4, 3);
+        let f = Mle::from_fn(4, |_| Fr::random(&mut rng));
+        let c = pcs.commit(&f);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let (proof, value) = pcs.open(&f, &point);
+        assert!(!verifier.verify(&c, &point, value + Fr::ONE, &proof));
+    }
+
+    #[test]
+    fn wrong_point_rejected() {
+        let (pcs, verifier, mut rng) = setup(4, 4);
+        let f = Mle::from_fn(4, |_| Fr::random(&mut rng));
+        let c = pcs.commit(&f);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let (proof, value) = pcs.open(&f, &point);
+        let mut other = point.clone();
+        other[2] += Fr::ONE;
+        assert!(!verifier.verify(&c, &other, value, &proof));
+    }
+
+    #[test]
+    fn tampered_quotient_rejected() {
+        let (pcs, verifier, mut rng) = setup(4, 5);
+        let f = Mle::from_fn(4, |_| Fr::random(&mut rng));
+        let c = pcs.commit(&f);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let (mut proof, value) = pcs.open(&f, &point);
+        proof.quotients[1] = G1Affine::generator();
+        assert!(!verifier.verify(&c, &point, value, &proof));
+    }
+
+    #[test]
+    fn commitment_is_homomorphic() {
+        let (pcs, _, mut rng) = setup(4, 6);
+        let f = Mle::from_fn(4, |_| Fr::random(&mut rng));
+        let g = Mle::from_fn(4, |_| Fr::random(&mut rng));
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let combined = Mle::from_fn(4, |i| a * f.evals()[i] + b * g.evals()[i]);
+        let via_points = combine_commitments(&[pcs.commit(&f), pcs.commit(&g)], &[a, b]);
+        assert_eq!(pcs.commit(&combined), via_points);
+    }
+
+    #[test]
+    fn smaller_mles_use_suffix_levels() {
+        // An SRS for 5 variables must also commit/open 3-variable MLEs.
+        let (pcs, verifier, mut rng) = setup(5, 7);
+        let f = Mle::from_fn(3, |_| Fr::random(&mut rng));
+        let c = pcs.commit(&f);
+        let point: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
+        let (proof, value) = pcs.open(&f, &point);
+        assert!(verifier.verify(&c, &point, value, &proof));
+    }
+
+    #[test]
+    fn zero_polynomial_commits_to_identity() {
+        let (pcs, _, _) = setup(3, 8);
+        let c = pcs.commit(&Mle::zero(3));
+        assert!(c.0.is_identity());
+    }
+}

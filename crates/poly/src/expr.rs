@@ -1,0 +1,288 @@
+//! Gate-expression AST — the user-facing "custom gate" language.
+//!
+//! Halo2-style arithmetization lets circuit designers write gates as
+//! algebraic expressions over selector and witness columns (paper §I,
+//! §II-C2). [`GateExpr`] is that language: expressions compose with `+`,
+//! `-`, `*` and [`GateExpr::pow`], and [`GateExpr::expand`] normalizes them
+//! into the sum-of-products [`CompositePoly`] the programmable SumCheck
+//! unit executes.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkphire_poly::expr::{konst, var};
+//!
+//! // Halo2's curve check: q * (y^2 - x^3 - 5)
+//! let q = var(0);
+//! let x = var(1);
+//! let y = var(2);
+//! let gate = q * (y.pow(2) - x.pow(3) - konst(5));
+//! let poly = gate.expand();
+//! assert_eq!(poly.degree(), 4); // q * x^3
+//! assert_eq!(poly.num_terms(), 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::composite::{CompositePoly, MleId, Term};
+use zkphire_field::Fr;
+
+/// An algebraic gate expression over MLE variables, protocol scalars and
+/// small integer constants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateExpr {
+    /// A constituent MLE column.
+    Var(MleId),
+    /// A protocol scalar (bound later via
+    /// [`CompositePoly::specialize`]).
+    Scalar(usize),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two expressions.
+    Add(Box<GateExpr>, Box<GateExpr>),
+    /// Difference of two expressions.
+    Sub(Box<GateExpr>, Box<GateExpr>),
+    /// Product of two expressions.
+    Mul(Box<GateExpr>, Box<GateExpr>),
+    /// Negation.
+    Neg(Box<GateExpr>),
+}
+
+/// Shorthand for [`GateExpr::Var`].
+pub fn var(id: usize) -> GateExpr {
+    GateExpr::Var(MleId(id))
+}
+
+/// Shorthand for [`GateExpr::Scalar`].
+pub fn scalar(id: usize) -> GateExpr {
+    GateExpr::Scalar(id)
+}
+
+/// Shorthand for [`GateExpr::Const`].
+pub fn konst(value: i64) -> GateExpr {
+    GateExpr::Const(value)
+}
+
+/// A monomial under construction: coefficient, scalar multiset, MLE multiset.
+type Mono = (Fr, Vec<usize>, Vec<MleId>);
+
+impl GateExpr {
+    /// Raises the expression to a small power.
+    pub fn pow(self, exponent: u32) -> GateExpr {
+        match exponent {
+            0 => GateExpr::Const(1),
+            1 => self,
+            _ => {
+                let mut acc = self.clone();
+                for _ in 1..exponent {
+                    acc = GateExpr::Mul(Box::new(acc), Box::new(self.clone()));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Expands into the canonical sum-of-products form, combining like
+    /// monomials and dropping zero terms.
+    pub fn expand(&self) -> CompositePoly {
+        let monos = self.monomials();
+        let mut combined: BTreeMap<(Vec<usize>, Vec<MleId>), Fr> = BTreeMap::new();
+        for (coeff, mut scalars, mut factors) in monos {
+            scalars.sort_unstable();
+            factors.sort_unstable();
+            let entry = combined.entry((scalars, factors)).or_insert(Fr::ZERO);
+            *entry += coeff;
+        }
+        let terms: Vec<Term> = combined
+            .into_iter()
+            .filter(|(_, coeff)| !coeff.is_zero())
+            .map(|((scalars, factors), coeff)| Term {
+                coeff,
+                scalars,
+                factors,
+            })
+            .collect();
+        CompositePoly::new(terms)
+    }
+
+    fn monomials(&self) -> Vec<Mono> {
+        match self {
+            GateExpr::Var(id) => vec![(Fr::ONE, vec![], vec![*id])],
+            GateExpr::Scalar(s) => vec![(Fr::ONE, vec![*s], vec![])],
+            GateExpr::Const(c) => vec![(Fr::from_i64(*c), vec![], vec![])],
+            GateExpr::Add(a, b) => {
+                let mut m = a.monomials();
+                m.extend(b.monomials());
+                m
+            }
+            GateExpr::Sub(a, b) => {
+                let mut m = a.monomials();
+                m.extend(
+                    b.monomials()
+                        .into_iter()
+                        .map(|(c, s, f)| (-c, s, f)),
+                );
+                m
+            }
+            GateExpr::Neg(a) => a
+                .monomials()
+                .into_iter()
+                .map(|(c, s, f)| (-c, s, f))
+                .collect(),
+            GateExpr::Mul(a, b) => {
+                let ma = a.monomials();
+                let mb = b.monomials();
+                let mut out = Vec::with_capacity(ma.len() * mb.len());
+                for (ca, sa, fa) in &ma {
+                    for (cb, sb, fb) in &mb {
+                        let mut scalars = sa.clone();
+                        scalars.extend_from_slice(sb);
+                        let mut factors = fa.clone();
+                        factors.extend_from_slice(fb);
+                        out.push((*ca * *cb, scalars, factors));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Evaluates the AST directly (without expansion) given variable and
+    /// scalar assignments — the oracle used to test [`expand`](Self::expand).
+    pub fn evaluate(&self, vars: &[Fr], scalars: &[Fr]) -> Fr {
+        match self {
+            GateExpr::Var(id) => vars[id.0],
+            GateExpr::Scalar(s) => scalars[*s],
+            GateExpr::Const(c) => Fr::from_i64(*c),
+            GateExpr::Add(a, b) => a.evaluate(vars, scalars) + b.evaluate(vars, scalars),
+            GateExpr::Sub(a, b) => a.evaluate(vars, scalars) - b.evaluate(vars, scalars),
+            GateExpr::Mul(a, b) => a.evaluate(vars, scalars) * b.evaluate(vars, scalars),
+            GateExpr::Neg(a) => -a.evaluate(vars, scalars),
+        }
+    }
+}
+
+impl Add for GateExpr {
+    type Output = GateExpr;
+
+    fn add(self, rhs: GateExpr) -> GateExpr {
+        GateExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for GateExpr {
+    type Output = GateExpr;
+
+    fn sub(self, rhs: GateExpr) -> GateExpr {
+        GateExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for GateExpr {
+    type Output = GateExpr;
+
+    fn mul(self, rhs: GateExpr) -> GateExpr {
+        GateExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Neg for GateExpr {
+    type Output = GateExpr;
+
+    fn neg(self) -> GateExpr {
+        GateExpr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_values(n: usize, seed: u64) -> Vec<Fr> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Fr::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn binomial_expansion() {
+        // (a + b)^2 == a^2 + 2ab + b^2
+        let e = (var(0) + var(1)).pow(2);
+        let p = e.expand();
+        assert_eq!(p.num_terms(), 3);
+        assert_eq!(p.degree(), 2);
+        let vals = random_values(2, 1);
+        let direct = e.evaluate(&vals, &[]);
+        assert_eq!(p.evaluate_with_mle_values(&vals), direct);
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        // a*b - a*b == 0
+        let e = var(0) * var(1) - var(0) * var(1);
+        assert_eq!(e.expand().num_terms(), 0);
+    }
+
+    #[test]
+    fn constants_fold() {
+        // 2 * 3 * a == 6a
+        let e = konst(2) * konst(3) * var(0);
+        let p = e.expand();
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.terms()[0].coeff, Fr::from_u64(6));
+    }
+
+    #[test]
+    fn negative_constants() {
+        let e = konst(-3) * var(0);
+        let p = e.expand();
+        assert_eq!(p.terms()[0].coeff, -Fr::from_u64(3));
+    }
+
+    #[test]
+    fn scalars_survive_expansion() {
+        // alpha * (a - b) has two terms each carrying scalar 0
+        let e = scalar(0) * (var(0) - var(1));
+        let p = e.expand();
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.num_scalars(), 1);
+        assert!(p.terms().iter().all(|t| t.scalars == vec![0]));
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        let e = var(0).pow(0) * var(1);
+        let p = e.expand();
+        assert_eq!(p.degree(), 1);
+    }
+
+    fn arb_expr(num_vars: usize) -> impl Strategy<Value = GateExpr> {
+        let leaf = prop_oneof![
+            (0..num_vars).prop_map(var),
+            (-4i64..5).prop_map(konst),
+        ];
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (inner.clone(), 0u32..4).prop_map(|(a, k)| a.pow(k)),
+                inner.prop_map(|a| -a),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn expansion_preserves_semantics(e in arb_expr(4), seed in 0u64..1000) {
+            let vals = random_values(4, seed);
+            let direct = e.evaluate(&vals, &[]);
+            let expanded = e.expand().evaluate_with_mle_values(&vals);
+            prop_assert_eq!(direct, expanded);
+        }
+    }
+}

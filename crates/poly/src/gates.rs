@@ -1,0 +1,654 @@
+//! The Table I gate library: every polynomial constraint the paper
+//! evaluates, IDs 0–24, plus the parametric high-degree family used in the
+//! degree sweeps (Fig. 7, Fig. 8, Fig. 14).
+//!
+//! Each [`GateInfo`] pairs the expanded [`CompositePoly`] with the
+//! statistical kind of every constituent MLE, which is what the workload
+//! generators and the accelerator's sparsity model consume.
+
+use crate::composite::{CompositePoly, MleKind};
+use crate::expr::{konst, scalar, GateExpr};
+
+/// A named polynomial constraint from the paper's Table I.
+#[derive(Clone, Debug)]
+pub struct GateInfo {
+    /// Row number in Table I.
+    pub id: usize,
+    /// Row name in Table I.
+    pub name: &'static str,
+    /// The constraint in canonical sum-of-products form.
+    pub poly: CompositePoly,
+    /// Statistical kind of each constituent MLE slot.
+    pub mle_kinds: Vec<MleKind>,
+    /// Human-readable name of each constituent MLE slot.
+    pub mle_names: Vec<&'static str>,
+    /// Names of protocol scalar slots (e.g. `alpha`).
+    pub scalar_names: Vec<&'static str>,
+}
+
+/// Incrementally allocates MLE variable slots while recording names/kinds.
+struct Vars {
+    names: Vec<&'static str>,
+    kinds: Vec<MleKind>,
+    scalar_names: Vec<&'static str>,
+}
+
+impl Vars {
+    fn new() -> Self {
+        Self {
+            names: Vec::new(),
+            kinds: Vec::new(),
+            scalar_names: Vec::new(),
+        }
+    }
+
+    fn var(&mut self, name: &'static str, kind: MleKind) -> GateExpr {
+        let id = self.names.len();
+        self.names.push(name);
+        self.kinds.push(kind);
+        crate::expr::var(id)
+    }
+
+    fn scalar(&mut self, name: &'static str) -> GateExpr {
+        let id = self.scalar_names.len();
+        self.scalar_names.push(name);
+        scalar(id)
+    }
+
+    fn finish(self, id: usize, name: &'static str, expr: GateExpr) -> GateInfo {
+        GateInfo {
+            id,
+            name,
+            poly: expr.expand(),
+            mle_kinds: self.kinds,
+            mle_names: self.names,
+            scalar_names: self.scalar_names,
+        }
+    }
+}
+
+/// Builds one Table I gate by row id (0–24).
+///
+/// # Panics
+///
+/// Panics for ids outside Table I.
+pub fn table1_gate(id: usize) -> GateInfo {
+    use MleKind::{Challenge, Dense, Selector, Witness};
+    let mut v = Vars::new();
+    match id {
+        0 => {
+            let qadd = v.var("q_add", Selector);
+            let qmul = v.var("q_mul", Selector);
+            let a = v.var("a", Witness);
+            let b = v.var("b", Witness);
+            let e = qadd * (a.clone() + b.clone()) + qmul * (a * b);
+            v.finish(0, "Verifiable ASICs", e)
+        }
+        1 => {
+            let a = v.var("A", Dense);
+            let b = v.var("B", Dense);
+            let c = v.var("C", Dense);
+            let ftau = v.var("f_tau", Challenge);
+            let e = (a * b - c) * ftau;
+            v.finish(1, "Spartan 1", e)
+        }
+        2 => {
+            let a = v.var("A", Dense);
+            let b = v.var("B", Dense);
+            let c = v.var("C", Dense);
+            let z = v.var("Z", Dense);
+            let e = (a + b + c) * z;
+            v.finish(2, "Spartan 2", e)
+        }
+        3 => {
+            let q = v.var("q_nonid_point", Selector);
+            let x = v.var("x", Witness);
+            let y = v.var("y", Witness);
+            let e = q * (y.pow(2) - x.pow(3) - konst(5));
+            v.finish(3, "Nonzero Point Check", e)
+        }
+        4 => {
+            let q = v.var("q_point", Selector);
+            let x = v.var("x", Witness);
+            let y = v.var("y", Witness);
+            let e = (q * x.clone()) * (y.pow(2) - x.pow(3) - konst(5));
+            v.finish(4, "x-gated Curve Check", e)
+        }
+        5 => {
+            let q = v.var("q_point", Selector);
+            let x = v.var("x", Witness);
+            let y = v.var("y", Witness);
+            let e = (q * y.clone()) * (y.pow(2) - x.pow(3) - konst(5));
+            v.finish(5, "y-gated Curve Check", e)
+        }
+        6 => {
+            let q = v.var("q_add_incomplete", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let e = q * ((xr + xq.clone() + xp.clone()) * (xp - xq).pow(2) - (yp - yq).pow(2));
+            v.finish(6, "Incomplete Addition 1", e)
+        }
+        7 => {
+            let q = v.var("q_add_incomplete", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let yr = v.var("y_r", Witness);
+            let e = q * ((yr + yq.clone()) * (xp.clone() - xq.clone()) - (yp - yq) * (xq - xr));
+            v.finish(7, "Incomplete Addition 2", e)
+        }
+        8 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let lambda = v.var("lambda", Witness);
+            let e = q * (xq.clone() - xp.clone()) * ((xq - xp) * lambda - (yq - yp));
+            v.finish(8, "Complete Addition 1", e)
+        }
+        9 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let yp = v.var("y_p", Witness);
+            let lambda = v.var("lambda", Witness);
+            let alpha = v.var("alpha", Witness);
+            let e = q
+                * (konst(1) - (xq - xp.clone()) * alpha)
+                * (konst(2) * yp * lambda - konst(3) * xp.pow(2));
+            v.finish(9, "Complete Addition 2", e)
+        }
+        10 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let lambda = v.var("lambda", Witness);
+            let e = q
+                * xp.clone()
+                * xq.clone()
+                * (xq.clone() - xp.clone())
+                * (lambda.pow(2) - xp - xq - xr);
+            v.finish(10, "Complete Addition 3", e)
+        }
+        11 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yr = v.var("y_r", Witness);
+            let lambda = v.var("lambda", Witness);
+            let e = q
+                * xp.clone()
+                * xq.clone()
+                * (xq - xp.clone())
+                * (lambda * (xp - xr) - yp - yr);
+            v.finish(11, "Complete Addition 4", e)
+        }
+        12 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let lambda = v.var("lambda", Witness);
+            let e = q
+                * xp.clone()
+                * xq.clone()
+                * (yq + yp)
+                * (lambda.pow(2) - xp - xq - xr);
+            v.finish(12, "Complete Addition 5", e)
+        }
+        13 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let yr = v.var("y_r", Witness);
+            let lambda = v.var("lambda", Witness);
+            let e = q
+                * xp.clone()
+                * xq
+                * (yq + yp.clone())
+                * (lambda * (xp - xr) - yp - yr);
+            v.finish(13, "Complete Addition 6", e)
+        }
+        14 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let beta = v.var("beta", Witness);
+            let e = q * (konst(1) - xp * beta) * (xr - xq);
+            v.finish(14, "Complete Addition 7", e)
+        }
+        15 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let yr = v.var("y_r", Witness);
+            let beta = v.var("beta", Witness);
+            let e = q * (konst(1) - xp * beta) * (yr - yq);
+            v.finish(15, "Complete Addition 8", e)
+        }
+        16 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let gamma = v.var("gamma", Witness);
+            let e = q * (konst(1) - xq * gamma) * (xr - xp);
+            v.finish(16, "Complete Addition 9", e)
+        }
+        17 => {
+            let q = v.var("q_add", Selector);
+            let xq = v.var("x_q", Witness);
+            let yp = v.var("y_p", Witness);
+            let yr = v.var("y_r", Witness);
+            let gamma = v.var("gamma", Witness);
+            let e = q * (konst(1) - xq * gamma) * (yr - yp);
+            v.finish(17, "Complete Addition 10", e)
+        }
+        18 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let xr = v.var("x_r", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let alpha = v.var("alpha", Witness);
+            let delta = v.var("delta", Witness);
+            let e = q * (konst(1) - (xq - xp) * alpha - (yq + yp) * delta) * xr;
+            v.finish(18, "Complete Addition 11", e)
+        }
+        19 => {
+            let q = v.var("q_add", Selector);
+            let xp = v.var("x_p", Witness);
+            let xq = v.var("x_q", Witness);
+            let yp = v.var("y_p", Witness);
+            let yq = v.var("y_q", Witness);
+            let yr = v.var("y_r", Witness);
+            let alpha = v.var("alpha", Witness);
+            let delta = v.var("delta", Witness);
+            let e = q * (konst(1) - (xq - xp) * alpha - (yq + yp) * delta) * yr;
+            v.finish(19, "Complete Addition 12", e)
+        }
+        20 => {
+            let ql = v.var("q_L", Selector);
+            let qr = v.var("q_R", Selector);
+            let qm = v.var("q_M", Selector);
+            let qo = v.var("q_O", Selector);
+            let qc = v.var("q_C", Witness);
+            let w1 = v.var("w_1", Witness);
+            let w2 = v.var("w_2", Witness);
+            let w3 = v.var("w_3", Witness);
+            let fr = v.var("f_r", Challenge);
+            let e = (ql * w1.clone() + qr * w2.clone() - qo * w3 + qm * w1 * w2 + qc) * fr;
+            v.finish(20, "Vanilla ZeroCheck", e)
+        }
+        21 => {
+            let pi = v.var("pi", Dense);
+            let p1 = v.var("p_1", Dense);
+            let p2 = v.var("p_2", Dense);
+            let phi = v.var("phi", Dense);
+            let d1 = v.var("D_1", Dense);
+            let d2 = v.var("D_2", Dense);
+            let d3 = v.var("D_3", Dense);
+            let n1 = v.var("N_1", Dense);
+            let n2 = v.var("N_2", Dense);
+            let n3 = v.var("N_3", Dense);
+            let fr = v.var("f_r", Challenge);
+            let alpha = v.scalar("alpha");
+            let e = (pi - p1 * p2 + alpha * (phi * d1 * d2 * d3 - n1 * n2 * n3)) * fr;
+            v.finish(21, "Vanilla PermCheck", e)
+        }
+        22 => {
+            let q1 = v.var("q_1", Selector);
+            let q2 = v.var("q_2", Selector);
+            let q3 = v.var("q_3", Selector);
+            let q4 = v.var("q_4", Selector);
+            let qm1 = v.var("q_M1", Selector);
+            let qm2 = v.var("q_M2", Selector);
+            let qh1 = v.var("q_H1", Selector);
+            let qh2 = v.var("q_H2", Selector);
+            let qh3 = v.var("q_H3", Selector);
+            let qh4 = v.var("q_H4", Selector);
+            let qo = v.var("q_O", Selector);
+            let qecc = v.var("q_ecc", Selector);
+            let qc = v.var("q_C", Witness);
+            let w1 = v.var("w_1", Witness);
+            let w2 = v.var("w_2", Witness);
+            let w3 = v.var("w_3", Witness);
+            let w4 = v.var("w_4", Witness);
+            let w5 = v.var("w_5", Witness);
+            let fr = v.var("f_r", Challenge);
+            let e = (q1 * w1.clone()
+                + q2 * w2.clone()
+                + q3 * w3.clone()
+                + q4 * w4.clone()
+                + qm1 * w1.clone() * w2.clone()
+                + qm2 * w3.clone() * w4.clone()
+                + qh1 * w1.clone().pow(5)
+                + qh2 * w2.clone().pow(5)
+                + qh3 * w3.clone().pow(5)
+                + qh4 * w4.clone().pow(5)
+                - qo * w5
+                + qecc * w1 * w2 * w3 * w4
+                + qc)
+                * fr;
+            v.finish(22, "Jellyfish ZeroCheck", e)
+        }
+        23 => {
+            let pi = v.var("pi", Dense);
+            let p1 = v.var("p_1", Dense);
+            let p2 = v.var("p_2", Dense);
+            let phi = v.var("phi", Dense);
+            let d1 = v.var("D_1", Dense);
+            let d2 = v.var("D_2", Dense);
+            let d3 = v.var("D_3", Dense);
+            let d4 = v.var("D_4", Dense);
+            let d5 = v.var("D_5", Dense);
+            let n1 = v.var("N_1", Dense);
+            let n2 = v.var("N_2", Dense);
+            let n3 = v.var("N_3", Dense);
+            let n4 = v.var("N_4", Dense);
+            let n5 = v.var("N_5", Dense);
+            let fr = v.var("f_r", Challenge);
+            let alpha = v.scalar("alpha");
+            let e = (pi - p1 * p2
+                + alpha * (phi * d1 * d2 * d3 * d4 * d5 - n1 * n2 * n3 * n4 * n5))
+                * fr;
+            v.finish(23, "Jellyfish PermCheck", e)
+        }
+        24 => {
+            let mut e = konst(0);
+            for i in 0..6 {
+                const Y_NAMES: [&str; 6] = ["y_1", "y_2", "y_3", "y_4", "y_5", "y_6"];
+                const F_NAMES: [&str; 6] = ["f_r1", "f_r2", "f_r3", "f_r4", "f_r5", "f_r6"];
+                let y = v.var(Y_NAMES[i], Dense);
+                let f = v.var(F_NAMES[i], Challenge);
+                e = e + y * f;
+            }
+            v.finish(24, "OpenCheck", e)
+        }
+        _ => panic!("Table I has rows 0..=24, got {id}"),
+    }
+}
+
+/// All 25 Table I gates in row order.
+pub fn table1_gates() -> Vec<GateInfo> {
+    (0..=24).map(table1_gate).collect()
+}
+
+/// The Table I rows used for the Fig. 6 "training set" (polys 0–19).
+pub fn training_set() -> Vec<GateInfo> {
+    (0..=19).map(table1_gate).collect()
+}
+
+/// The parametric high-degree gate family of the paper's degree sweeps
+/// (§VI-A2, §VI-B5): `f = q1 w1 + q2 w2 + q3 w1^(d-2) w2 + q_c`, built so
+/// that the composite's [`degree`](CompositePoly::degree) equals `degree`
+/// exactly (the largest term has `degree` multilinear factors).
+///
+/// # Panics
+///
+/// Panics for `degree < 2`.
+pub fn high_degree_gate(degree: usize) -> GateInfo {
+    use MleKind::{Selector, Witness};
+    assert!(degree >= 2, "family defined for degree >= 2");
+    let mut v = Vars::new();
+    let q1 = v.var("q_1", Selector);
+    let q2 = v.var("q_2", Selector);
+    let q3 = v.var("q_3", Selector);
+    let qc = v.var("q_C", Witness);
+    let w1 = v.var("w_1", Witness);
+    let w2 = v.var("w_2", Witness);
+    let e = match degree {
+        2 => q1 * w1.clone() + q2 * w2.clone() + q3 * w2 + qc,
+        d => {
+            q1 * w1.clone() + q2 * w2.clone() + q3 * w1.pow(d as u32 - 2) * w2 + qc
+        }
+    };
+    let mut info = v.finish(usize::MAX, "High-degree sweep gate", e);
+    info.name = "High-degree sweep gate";
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mle::Mle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkphire_field::Fr;
+
+    /// Expected total degree of every Table I row, counting selector and
+    /// f_r factors (each term's factor count; e.g. row 22's `q_H1 w1^5 f_r`
+    /// has 7 multilinear factors).
+    const EXPECTED_DEGREES: [usize; 25] = [
+        3, 3, 2, 4, 5, 5, 4, 3, 4, 5, 6, 6, 6, 6, 4, 4, 4, 4, 4, 4, 4, 5, 7, 7, 2,
+    ];
+
+    #[test]
+    fn all_gates_build() {
+        let gates = table1_gates();
+        assert_eq!(gates.len(), 25);
+        for (i, g) in gates.iter().enumerate() {
+            assert_eq!(g.id, i);
+            assert_eq!(g.poly.num_mles(), g.mle_kinds.len(), "gate {i}");
+            assert_eq!(g.mle_names.len(), g.mle_kinds.len(), "gate {i}");
+            assert!(g.poly.num_terms() > 0, "gate {i}");
+        }
+    }
+
+    #[test]
+    fn degrees_match_paper() {
+        for (i, g) in table1_gates().iter().enumerate() {
+            assert_eq!(
+                g.poly.degree(),
+                EXPECTED_DEGREES[i],
+                "gate {i} ({})",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn vanilla_zerocheck_structure() {
+        let g = table1_gate(20);
+        // 5 Plonk terms, each multiplied by f_r.
+        assert_eq!(g.poly.num_terms(), 5);
+        assert_eq!(g.poly.num_mles(), 9);
+        assert_eq!(g.poly.degree(), 4); // q_M w1 w2 f_r
+    }
+
+    #[test]
+    fn jellyfish_zerocheck_structure() {
+        let g = table1_gate(22);
+        assert_eq!(g.poly.num_terms(), 13);
+        assert_eq!(g.poly.num_mles(), 19);
+        assert_eq!(g.poly.degree(), 7); // q_H1 * w1^5 * f_r
+        // ICICLE cannot run this: more than 8 unique constituents (§VI-A4).
+        assert!(g.poly.max_unique_factors_per_term() <= 8);
+        assert!(g.poly.unique_mles().len() > 8);
+    }
+
+    #[test]
+    fn permcheck_has_scalar_alpha() {
+        for id in [21, 23] {
+            let g = table1_gate(id);
+            assert_eq!(g.scalar_names, vec!["alpha"]);
+            assert_eq!(g.poly.num_scalars(), 1);
+        }
+        assert_eq!(table1_gate(23).poly.degree(), 7);
+    }
+
+    #[test]
+    fn verifiable_asics_evaluates_correctly() {
+        // Gate 0 on a satisfied multiplication: q_add=0, q_mul=1, a*b == ?
+        // The gate value is q_add (a+b) + q_mul (a b); check plain algebra.
+        let g = table1_gate(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let vals = [Fr::ZERO, Fr::ONE, a, b]; // q_add, q_mul, a, b
+        assert_eq!(g.poly.evaluate_with_mle_values(&vals), a * b);
+        let vals_add = [Fr::ONE, Fr::ZERO, a, b];
+        assert_eq!(g.poly.evaluate_with_mle_values(&vals_add), a + b);
+    }
+
+    #[test]
+    fn curve_check_vanishes_on_curve_points() {
+        // Gate 3 with y^2 == x^3 + 5 must vanish when selector is on.
+        let g = table1_gate(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Fr::random(&mut rng);
+        let y2 = x * x * x + Fr::from_u64(5);
+        // We need y with y^2 = x^3+5; instead pick x from y:
+        // simpler: choose y free and set x^3 = y^2 - 5 is hard; instead
+        // verify the identity algebraically at arbitrary values.
+        let y = Fr::random(&mut rng);
+        let expected = Fr::ONE * (y * y - x * x * x - Fr::from_u64(5));
+        assert_eq!(
+            g.poly.evaluate_with_mle_values(&[Fr::ONE, x, y]),
+            expected
+        );
+        let _ = y2;
+    }
+
+    #[test]
+    fn high_degree_family_degrees() {
+        for d in 2..=30 {
+            let g = high_degree_gate(d);
+            assert_eq!(g.poly.degree(), d, "degree {d}");
+            assert_eq!(g.poly.num_terms(), 4);
+        }
+    }
+
+    #[test]
+    fn gate_sums_vanish_on_satisfying_assignment() {
+        // Vanilla gate: random circuit where every row satisfies the
+        // constraint implies the ZeroCheck polynomial sums to zero when
+        // multiplied by any f_r.
+        let g = table1_gate(20);
+        let mu = 3;
+        let n = 1 << mu;
+        let mut rng = StdRng::seed_from_u64(3);
+        // Make every gate an addition: w3 = w1 + w2, qL = qR = 1, qO = 1.
+        let w1 = Mle::from_fn(mu, |_| Fr::random(&mut rng));
+        let w2 = Mle::from_fn(mu, |_| Fr::random(&mut rng));
+        let w3 = Mle::from_fn(mu, |i| w1.evals()[i] + w2.evals()[i]);
+        let ones = Mle::constant(Fr::ONE, mu);
+        let zeros = Mle::zero(mu);
+        let r: Vec<Fr> = (0..mu).map(|_| Fr::random(&mut rng)).collect();
+        let fr = Mle::eq_table(&r);
+        // Slot order: q_L q_R q_M q_O q_C w1 w2 w3 f_r
+        let mles = vec![
+            ones.clone(),
+            ones.clone(),
+            zeros.clone(),
+            ones,
+            zeros,
+            w1,
+            w2,
+            w3,
+            fr,
+        ];
+        assert_eq!(g.poly.sum_over_hypercube(&mles), Fr::ZERO);
+        let _ = n;
+    }
+}
+
+#[cfg(test)]
+mod ecc_tests {
+    //! The Halo2 ECC gates (Table I rows 3, 6, 7) must vanish on genuine
+    //! points of the in-circuit curve `y^2 = x^3 + 5` over the scalar
+    //! field — the strongest correctness check of the gate encodings.
+
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkphire_field::Fr;
+
+    /// Samples a random affine point on `y^2 = x^3 + 5` over Fr.
+    fn random_point(rng: &mut StdRng) -> (Fr, Fr) {
+        loop {
+            let x = Fr::random(rng);
+            let rhs = x * x * x + Fr::from_u64(5);
+            if let Some(y) = rhs.sqrt() {
+                return (x, y);
+            }
+        }
+    }
+
+    /// Incomplete affine addition on `y^2 = x^3 + 5` (distinct x).
+    fn add_points(p: (Fr, Fr), q: (Fr, Fr)) -> (Fr, Fr) {
+        let (xp, yp) = p;
+        let (xq, yq) = q;
+        let lambda = (yq - yp) * (xq - xp).inverse().expect("distinct x");
+        let xr = lambda * lambda - xp - xq;
+        let yr = lambda * (xp - xr) - yp;
+        (xr, yr)
+    }
+
+    #[test]
+    fn nonzero_point_check_vanishes_on_curve() {
+        let gate = table1_gate(3); // q, x, y
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..4 {
+            let (x, y) = random_point(&mut rng);
+            assert!(gate
+                .poly
+                .evaluate_with_mle_values(&[Fr::ONE, x, y])
+                .is_zero());
+            // And catches off-curve points.
+            assert!(!gate
+                .poly
+                .evaluate_with_mle_values(&[Fr::ONE, x, y + Fr::ONE])
+                .is_zero());
+        }
+    }
+
+    #[test]
+    fn incomplete_addition_gates_vanish_on_real_additions() {
+        let gate6 = table1_gate(6); // q, x_p, x_q, x_r, y_p, y_q
+        let gate7 = table1_gate(7); // q, x_p, x_q, x_r, y_p, y_q, y_r
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..4 {
+            let p = random_point(&mut rng);
+            let q = random_point(&mut rng);
+            let (xr, yr) = add_points(p, q);
+            let (xp, yp) = p;
+            let (xq, yq) = q;
+            assert!(
+                gate6
+                    .poly
+                    .evaluate_with_mle_values(&[Fr::ONE, xp, xq, xr, yp, yq])
+                    .is_zero(),
+                "gate 6 must vanish on a real addition"
+            );
+            assert!(
+                gate7
+                    .poly
+                    .evaluate_with_mle_values(&[Fr::ONE, xp, xq, xr, yp, yq, yr])
+                    .is_zero(),
+                "gate 7 must vanish on a real addition"
+            );
+            // A wrong sum is caught by at least one of the two gates.
+            let bad6 = gate6
+                .poly
+                .evaluate_with_mle_values(&[Fr::ONE, xp, xq, xr + Fr::ONE, yp, yq]);
+            assert!(!bad6.is_zero(), "gate 6 must catch a wrong x_r");
+        }
+    }
+}

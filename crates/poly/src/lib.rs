@@ -1,0 +1,39 @@
+//! Multilinear polynomials and the programmable-gate IR for zkPHIRE.
+//!
+//! This crate provides the polynomial substrate of the paper (§II-C):
+//!
+//! * [`Mle`] — dense multilinear-extension tables with the *MLE Update*
+//!   (fix-variable) kernel and the *Build MLE* (`eq(x, r)`) kernel;
+//! * [`expr::GateExpr`] — the Halo2-style custom-gate expression language;
+//! * [`CompositePoly`] — the canonical sum-of-products form the
+//!   programmable SumCheck unit is scheduled from;
+//! * [`gates`] — the complete Table I constraint library (rows 0–24) and
+//!   the parametric high-degree gate family of the degree sweeps;
+//! * [`sparsity`] — workload generators matching the paper's sparsity
+//!   statistics (binary selectors, 90%-sparse witnesses).
+//!
+//! # Examples
+//!
+//! ```
+//! use zkphire_poly::expr::var;
+//! use zkphire_poly::{Mle, sparsity};
+//! use rand::SeedableRng;
+//!
+//! // Program a custom gate f = a * b^2 and sum it over the hypercube.
+//! let f = (var(0) * var(1).pow(2)).expand();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let a = sparsity::random_dense(&mut rng, 4);
+//! let b = sparsity::random_dense(&mut rng, 4);
+//! let sum = f.sum_over_hypercube(&[a, b]);
+//! let _ = sum;
+//! ```
+
+mod composite;
+pub mod expr;
+pub mod gates;
+mod mle;
+pub mod sparsity;
+
+pub use composite::{CompositePoly, MleId, MleKind, Term};
+pub use gates::{high_degree_gate, table1_gate, table1_gates, training_set, GateInfo};
+pub use mle::Mle;

@@ -1,0 +1,108 @@
+//! Univariate Lagrange interpolation on the integer nodes `0..=d`.
+//!
+//! A SumCheck round transmits the round polynomial `s_i` as its evaluations
+//! at `0, 1, ..., d` (paper §II-C3: "d+1 evaluations"); the verifier needs
+//! `s_i(r)` at the random challenge to form the next round's claim.
+
+use zkphire_field::{batch_inverse, Fr};
+
+/// Evaluates the degree-`d` polynomial through `(j, values[j])` for
+/// `j = 0..=d` at the point `r`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn interpolate_at(values: &[Fr], r: Fr) -> Fr {
+    assert!(!values.is_empty(), "need at least one evaluation");
+    let d = values.len() - 1;
+    if d == 0 {
+        return values[0];
+    }
+
+    // If r is itself one of the nodes, return the tabulated value (the
+    // barycentric weights below would divide by zero).
+    for (j, &v) in values.iter().enumerate() {
+        if r == Fr::from_u64(j as u64) {
+            return v;
+        }
+    }
+
+    // L_j(r) = prod_{k != j} (r - k) / (j - k)
+    // Numerators via prefix/suffix products; denominators are factorials.
+    let nodes: Vec<Fr> = (0..=d as u64).map(Fr::from_u64).collect();
+    let mut prefix = vec![Fr::ONE; d + 2];
+    for j in 0..=d {
+        prefix[j + 1] = prefix[j] * (r - nodes[j]);
+    }
+    let mut suffix = vec![Fr::ONE; d + 2];
+    for j in (0..=d).rev() {
+        suffix[j] = suffix[j + 1] * (r - nodes[j]);
+    }
+
+    // denom_j = j! * (d-j)! * (-1)^(d-j)
+    let mut denoms: Vec<Fr> = Vec::with_capacity(d + 1);
+    let mut factorials = vec![Fr::ONE; d + 1];
+    for j in 1..=d {
+        factorials[j] = factorials[j - 1] * Fr::from_u64(j as u64);
+    }
+    for j in 0..=d {
+        let mut denom = factorials[j] * factorials[d - j];
+        if (d - j) % 2 == 1 {
+            denom = -denom;
+        }
+        denoms.push(denom);
+    }
+    batch_inverse(&mut denoms);
+
+    let mut acc = Fr::ZERO;
+    for j in 0..=d {
+        acc += values[j] * prefix[j] * suffix[j + 1] * denoms[j];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Evaluates `coeffs` (monomial basis, low-to-high) at `x`.
+    fn horner(coeffs: &[Fr], x: Fr) -> Fr {
+        coeffs.iter().rev().fold(Fr::ZERO, |acc, &c| acc * x + c)
+    }
+
+    #[test]
+    fn reconstructs_polynomial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in 1..=12 {
+            let coeffs: Vec<Fr> = (0..=d).map(|_| Fr::random(&mut rng)).collect();
+            let values: Vec<Fr> = (0..=d as u64)
+                .map(|j| horner(&coeffs, Fr::from_u64(j)))
+                .collect();
+            let r = Fr::random(&mut rng);
+            assert_eq!(interpolate_at(&values, r), horner(&coeffs, r), "degree {d}");
+        }
+    }
+
+    #[test]
+    fn exact_node_evaluation() {
+        let values: Vec<Fr> = [3u64, 1, 4, 1, 5].iter().map(|&v| Fr::from_u64(v)).collect();
+        for (j, &v) in values.iter().enumerate() {
+            assert_eq!(interpolate_at(&values, Fr::from_u64(j as u64)), v);
+        }
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let v = Fr::from_u64(7);
+        assert_eq!(interpolate_at(&[v], Fr::from_u64(123)), v);
+    }
+
+    #[test]
+    fn linear_polynomial() {
+        // p(x) = 2x + 5 through (0,5), (1,7)
+        let values = [Fr::from_u64(5), Fr::from_u64(7)];
+        assert_eq!(interpolate_at(&values, Fr::from_u64(10)), Fr::from_u64(25));
+    }
+}

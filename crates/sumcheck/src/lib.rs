@@ -1,0 +1,46 @@
+//! The SumCheck protocol over composite multilinear polynomials.
+//!
+//! This crate is the functional core of the paper (§II-C): a prover and
+//! verifier for `Σ_x f(x) = C` where `f` is any sum of products of
+//! multilinear polynomials — the exact generality the programmable
+//! accelerator targets. It provides:
+//!
+//! * [`prove`] — multithreaded prover (the repository's real CPU baseline);
+//! * [`prove_instrumented`] — single-threaded reference that counts every
+//!   field operation, validating the analytical [`count_ops`] oracle
+//!   shared with the hardware model;
+//! * [`verify`] / [`verify_with_oracle`] — round and final-evaluation
+//!   checks;
+//! * [`zerocheck`] — the randomized `f * eq(x, r)` transformation (§III-F).
+//!
+//! # Examples
+//!
+//! ```
+//! use zkphire_field::Fr;
+//! use zkphire_poly::{expr::var, Mle};
+//! use zkphire_sumcheck::{prove, verify_with_oracle};
+//! use zkphire_transcript::Transcript;
+//!
+//! let f = (var(0) * var(1)).expand();
+//! let a = Mle::new((0..8).map(Fr::from_u64).collect());
+//! let b = Mle::new((8..16).map(Fr::from_u64).collect());
+//! let mles = vec![a, b];
+//!
+//! let mut tp = Transcript::new(b"doc");
+//! let out = prove(&f, mles.clone(), &mut tp);
+//!
+//! let mut tv = Transcript::new(b"doc");
+//! verify_with_oracle(&f, &mles, &out.proof, &mut tv).expect("verifies");
+//! ```
+
+mod interp;
+mod ops;
+mod prover;
+mod verifier;
+pub mod zerocheck;
+
+pub use interp::interpolate_at;
+pub use ops::{coeff_needs_mul, count_ops, SumcheckOps};
+pub use prover::{prove, prove_instrumented, ProverOutput, SumCheckProof};
+pub use verifier::{verify, verify_with_oracle, SumCheckError, VerifiedSumCheck};
+pub use zerocheck::{eq_eval, prove_zero_check, verify_zero_check};

@@ -1,0 +1,379 @@
+//! The SumCheck prover over composite polynomials.
+//!
+//! Implements the round structure of paper §II-C3 and Fig. 1 for an
+//! arbitrary sum of products of multilinear polynomials: per pair of table
+//! entries, every constituent MLE is *extended* from its evaluations at
+//! `X_i = 0, 1` to `X_i = 2..d` (adds only — the hardware Extension
+//! Engines contain no multipliers), the extensions are multiplied per term
+//! (the Product Lanes), accumulated into `d + 1` round evaluations, hashed
+//! into the transcript to derive the challenge, and finally every MLE is
+//! halved by the *MLE Update* kernel.
+//!
+//! [`prove`] is the multithreaded production path (the repo's real CPU
+//! baseline); [`prove_instrumented`] is the single-threaded reference that
+//! counts every field operation and validates
+//! [`count_ops`](crate::count_ops).
+
+use zkphire_field::Fr;
+use zkphire_poly::{CompositePoly, Mle};
+use zkphire_transcript::Transcript;
+
+use crate::ops::{coeff_needs_mul, SumcheckOps};
+
+/// A complete SumCheck proof: the claim, every round polynomial (as
+/// evaluations at `0..=d`), and the constituent-MLE evaluations at the
+/// final challenge point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SumCheckProof {
+    /// The claimed hypercube sum `Σ_x f(x)`.
+    pub claimed_sum: Fr,
+    /// Round polynomials, one per variable; entry `i` holds `s_i(0..=d)`.
+    pub round_evals: Vec<Vec<Fr>>,
+    /// Evaluation of each constituent MLE at the final challenge point.
+    pub final_mle_evals: Vec<Fr>,
+}
+
+impl SumCheckProof {
+    /// Number of SumCheck rounds (µ).
+    pub fn num_rounds(&self) -> usize {
+        self.round_evals.len()
+    }
+
+    /// Serialized proof size in bytes (32-byte field elements), the metric
+    /// of the paper's Table IX.
+    pub fn size_bytes(&self) -> usize {
+        let elems = 1
+            + self.round_evals.iter().map(Vec::len).sum::<usize>()
+            + self.final_mle_evals.len();
+        elems * 32
+    }
+}
+
+/// Prover output: the proof plus the verifier challenges it was bound to.
+#[derive(Clone, Debug)]
+pub struct ProverOutput {
+    /// The proof to ship.
+    pub proof: SumCheckProof,
+    /// The Fiat–Shamir challenges `r_1..r_µ` (the final evaluation point).
+    pub challenges: Vec<Fr>,
+}
+
+/// Runs the multithreaded SumCheck prover.
+///
+/// `mles` must bind every slot of `poly` (see
+/// [`CompositePoly::validate_binding`]); the tables are consumed (they are
+/// halved each round, exactly like the streamed tables in hardware).
+///
+/// # Panics
+///
+/// Panics if the binding is invalid or the tables are zero-variable.
+pub fn prove(
+    poly: &CompositePoly,
+    mles: Vec<Mle>,
+    transcript: &mut Transcript,
+) -> ProverOutput {
+    prove_inner(poly, mles, transcript, None)
+}
+
+/// Single-threaded reference prover that additionally counts every field
+/// operation it performs. Produces bit-identical proofs to [`prove`].
+pub fn prove_instrumented(
+    poly: &CompositePoly,
+    mles: Vec<Mle>,
+    transcript: &mut Transcript,
+) -> (ProverOutput, SumcheckOps) {
+    let mut ops = SumcheckOps::default();
+    let out = prove_inner(poly, mles, transcript, Some(&mut ops));
+    (out, ops)
+}
+
+fn prove_inner(
+    poly: &CompositePoly,
+    mut mles: Vec<Mle>,
+    transcript: &mut Transcript,
+    mut counter: Option<&mut SumcheckOps>,
+) -> ProverOutput {
+    poly.validate_binding(&mles);
+    let num_vars = mles.first().expect("at least one MLE").num_vars();
+    assert!(num_vars >= 1, "SumCheck needs at least one variable");
+    let degree = poly.degree();
+    // At least two evaluation points: the verifier always checks
+    // s(0) + s(1), even for a degree-0 composite.
+    let k = degree.max(1) + 1;
+
+    transcript.append_u64(b"sumcheck/num_vars", num_vars as u64);
+    transcript.append_u64(b"sumcheck/degree", degree as u64);
+
+    let mut round_evals = Vec::with_capacity(num_vars);
+    let mut challenges = Vec::with_capacity(num_vars);
+    let mut claimed_sum = Fr::ZERO;
+
+    for round in 0..num_vars {
+        let evals = match counter.as_deref_mut() {
+            Some(ops) => round_evals_counted(poly, &mles, k, ops),
+            None => round_evals_parallel(poly, &mles, k),
+        };
+        if round == 0 {
+            claimed_sum = evals[0] + evals[1];
+            transcript.append_fr(b"sumcheck/claim", &claimed_sum);
+        }
+        transcript.append_frs(b"sumcheck/round", &evals);
+        let r = transcript.challenge_fr(b"sumcheck/challenge");
+        round_evals.push(evals);
+        challenges.push(r);
+
+        for m in &mut mles {
+            if let Some(ops) = counter.as_deref_mut() {
+                ops.update_muls += (m.len() / 2) as u64;
+                ops.adds += m.len() as u64; // diff + add per surviving entry
+            }
+            *m = m.fix_first_variable(r);
+        }
+    }
+
+    let final_mle_evals = mles.iter().map(|m| m.evals()[0]).collect();
+    ProverOutput {
+        proof: SumCheckProof {
+            claimed_sum,
+            round_evals,
+            final_mle_evals,
+        },
+        challenges,
+    }
+}
+
+/// Evaluates one pair (entries `2j`, `2j+1`) of every unique MLE,
+/// extending to `k` points and accumulating term products into `sums`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot path: mirrors the PE datapath signals
+fn accumulate_pair(
+    poly: &CompositePoly,
+    mles: &[Mle],
+    unique: &[usize],
+    j: usize,
+    k: usize,
+    ext: &mut [Vec<Fr>],
+    sums: &mut [Fr],
+    mut counter: Option<&mut SumcheckOps>,
+) {
+    for &u in unique {
+        let evals = mles[u].evals();
+        let f0 = evals[2 * j];
+        let f1 = evals[2 * j + 1];
+        let diff = f1 - f0;
+        let e = &mut ext[u];
+        e[0] = f0;
+        if k > 1 {
+            e[1] = f1;
+            for t in 2..k {
+                e[t] = e[t - 1] + diff;
+            }
+        }
+        if let Some(ops) = counter.as_deref_mut() {
+            ops.adds += 1 + (k as u64).saturating_sub(2);
+        }
+    }
+    for term in poly.terms() {
+        let needs_coeff_mul = coeff_needs_mul(&term.coeff);
+        let negate = !needs_coeff_mul && !term.coeff.is_one();
+        if term.factors.is_empty() {
+            // A constant term contributes its coefficient at every point.
+            for sum in sums.iter_mut() {
+                *sum += term.coeff;
+            }
+            if let Some(ops) = counter.as_deref_mut() {
+                ops.adds += k as u64;
+            }
+            continue;
+        }
+        for (t, sum) in sums.iter_mut().enumerate() {
+            let mut prod = ext[term.factors[0].0][t];
+            for f in &term.factors[1..] {
+                prod *= ext[f.0][t];
+            }
+            if needs_coeff_mul {
+                prod *= term.coeff;
+            } else if negate {
+                prod = -prod;
+            }
+            *sum += prod;
+        }
+        if let Some(ops) = counter.as_deref_mut() {
+            let factor_muls = term.degree() as u64 - 1;
+            ops.product_muls += (k as u64) * (factor_muls + u64::from(needs_coeff_mul));
+            ops.adds += k as u64;
+        }
+    }
+}
+
+fn round_evals_counted(
+    poly: &CompositePoly,
+    mles: &[Mle],
+    k: usize,
+    ops: &mut SumcheckOps,
+) -> Vec<Fr> {
+    let half = mles[0].len() / 2;
+    let unique: Vec<usize> = poly.unique_mles().iter().map(|id| id.0).collect();
+    let mut ext = vec![vec![Fr::ZERO; k]; poly.num_mles()];
+    let mut sums = vec![Fr::ZERO; k];
+    for j in 0..half {
+        accumulate_pair(poly, mles, &unique, j, k, &mut ext, &mut sums, Some(ops));
+    }
+    sums
+}
+
+fn round_evals_parallel(poly: &CompositePoly, mles: &[Mle], k: usize) -> Vec<Fr> {
+    let half = mles[0].len() / 2;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(half.max(1));
+    if threads <= 1 || half < 1024 {
+        let unique: Vec<usize> = poly.unique_mles().iter().map(|id| id.0).collect();
+        let mut ext = vec![vec![Fr::ZERO; k]; poly.num_mles()];
+        let mut sums = vec![Fr::ZERO; k];
+        for j in 0..half {
+            accumulate_pair(poly, mles, &unique, j, k, &mut ext, &mut sums, None);
+        }
+        return sums;
+    }
+
+    let chunk = half.div_ceil(threads);
+    let unique: Vec<usize> = poly.unique_mles().iter().map(|id| id.0).collect();
+    let partials: Vec<Vec<Fr>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let unique = &unique;
+                scope.spawn(move || {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(half);
+                    let mut ext = vec![vec![Fr::ZERO; k]; poly.num_mles()];
+                    let mut sums = vec![Fr::ZERO; k];
+                    for j in start..end {
+                        accumulate_pair(poly, mles, unique, j, k, &mut ext, &mut sums, None);
+                    }
+                    sums
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("round-eval worker"))
+            .collect()
+    });
+
+    let mut sums = vec![Fr::ZERO; k];
+    for partial in partials {
+        for (s, p) in sums.iter_mut().zip(partial) {
+            *s += p;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkphire_poly::{MleId, Term};
+
+    fn random_mles(n: usize, num_vars: usize, seed: u64) -> Vec<Mle> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Mle::from_fn(num_vars, |_| Fr::random(&mut rng)))
+            .collect()
+    }
+
+    fn test_poly() -> CompositePoly {
+        // f = a*b*e - 2*c*e + e*g  (shared factor e, mixed degrees)
+        CompositePoly::new(vec![
+            Term {
+                coeff: Fr::ONE,
+                scalars: vec![],
+                factors: vec![MleId(0), MleId(1), MleId(2)],
+            },
+            Term {
+                coeff: -Fr::from_u64(2),
+                scalars: vec![],
+                factors: vec![MleId(3), MleId(2)],
+            },
+            Term {
+                coeff: Fr::ONE,
+                scalars: vec![],
+                factors: vec![MleId(2), MleId(4)],
+            },
+        ])
+    }
+
+    #[test]
+    fn claimed_sum_matches_reference() {
+        let poly = test_poly();
+        let mles = random_mles(5, 6, 1);
+        let expected = poly.sum_over_hypercube(&mles);
+        let mut t = Transcript::new(b"test");
+        let out = prove(&poly, mles, &mut t);
+        assert_eq!(out.proof.claimed_sum, expected);
+    }
+
+    #[test]
+    fn parallel_and_instrumented_agree() {
+        let poly = test_poly();
+        let mles = random_mles(5, 7, 2);
+        let mut t1 = Transcript::new(b"test");
+        let out1 = prove(&poly, mles.clone(), &mut t1);
+        let mut t2 = Transcript::new(b"test");
+        let (out2, _) = prove_instrumented(&poly, mles, &mut t2);
+        assert_eq!(out1.proof, out2.proof);
+        assert_eq!(out1.challenges, out2.challenges);
+    }
+
+    #[test]
+    fn instrumented_counts_match_analytical_formula() {
+        let poly = test_poly();
+        for num_vars in [3usize, 5, 8] {
+            let mles = random_mles(5, num_vars, num_vars as u64);
+            let mut t = Transcript::new(b"test");
+            let (_, measured) = prove_instrumented(&poly, mles, &mut t);
+            let predicted = count_ops(&poly, num_vars);
+            assert_eq!(measured, predicted, "num_vars={num_vars}");
+        }
+    }
+
+    #[test]
+    fn table1_gate_counts_match_formula() {
+        // The op-count oracle must hold for the real gate library too.
+        for id in [0usize, 1, 9, 20, 22, 24] {
+            let gate = zkphire_poly::table1_gate(id);
+            let poly = gate.poly.specialize(&[Fr::from_u64(7); 4]);
+            let mut rng = StdRng::seed_from_u64(id as u64);
+            let mles = zkphire_poly::sparsity::random_binding(&mut rng, &gate.mle_kinds, 4);
+            let mut t = Transcript::new(b"test");
+            let (_, measured) = prove_instrumented(&poly, mles, &mut t);
+            assert_eq!(measured, count_ops(&poly, 4), "gate {id}");
+        }
+    }
+
+    #[test]
+    fn final_evals_match_tables() {
+        let poly = test_poly();
+        let mles = random_mles(5, 5, 3);
+        let originals = mles.clone();
+        let mut t = Transcript::new(b"test");
+        let out = prove(&poly, mles, &mut t);
+        for (m, e) in originals.iter().zip(&out.proof.final_mle_evals) {
+            assert_eq!(m.evaluate(&out.challenges), *e);
+        }
+    }
+
+    #[test]
+    fn proof_size_accounting() {
+        let poly = test_poly();
+        let mles = random_mles(5, 4, 4);
+        let mut t = Transcript::new(b"test");
+        let out = prove(&poly, mles, &mut t);
+        // 4 rounds * 4 evals + 5 final evals + 1 claim = 22 elements.
+        assert_eq!(out.proof.size_bytes(), 22 * 32);
+    }
+}

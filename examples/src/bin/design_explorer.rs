@@ -1,0 +1,54 @@
+//! Exploring the zkPHIRE hardware design space.
+//!
+//! Runs a thinned Table III sweep, prints the Pareto frontier, and breaks
+//! down the exemplar 294 mm² design's area and power (the paper's
+//! Fig. 10 / Table V methodology at example scale).
+//!
+//! ```text
+//! cargo run --release -p zkphire-examples --bin design_explorer
+//! ```
+
+use zkphire_core::protocol::Gate;
+use zkphire_core::system::ZkphireConfig;
+use zkphire_core::tech::PrimeMode;
+use zkphire_dse::{full_system_dse, DseSpace};
+
+fn main() {
+    let mu = 22;
+    println!("-- thinned design-space sweep, 2^{mu} Jellyfish gates --");
+    let mut space = DseSpace::quick();
+    space.sumcheck_pes = vec![2, 8, 16, 32];
+    space.msm_pes = vec![4, 8, 16, 32];
+    space.bandwidths = vec![256.0, 1024.0, 4096.0];
+    println!("evaluating {} configurations...", space.size());
+    let dse = full_system_dse(&space, Gate::Jellyfish, mu, true, PrimeMode::Fixed);
+
+    for (bw, front) in space.bandwidths.iter().zip(&dse.tier_fronts) {
+        println!("\n{bw:.0} GB/s frontier ({} points):", front.len());
+        for p in front.iter().take(6) {
+            println!(
+                "  {:>8.2} ms  {:>7.1} mm^2  ({} MSM PEs, {} SC PEs, {} trees)",
+                p.runtime_ms,
+                p.area_mm2,
+                p.config.msm.pes,
+                p.config.sumcheck.pes,
+                p.config.forest.trees
+            );
+        }
+    }
+
+    println!("\n-- exemplar design (paper Table V) --");
+    let cfg = ZkphireConfig::exemplar();
+    let a = cfg.area();
+    let p = cfg.power();
+    println!("area  (mm^2): MSM {:.1}, Forest {:.1}, SumCheck {:.1}, other {:.1},", a.msm, a.forest, a.sumcheck, a.other);
+    println!("              SRAM {:.1}, interconnect {:.1}, PHYs {:.1}  => total {:.1}", a.sram, a.interconnect, a.phy, a.total());
+    println!("power    (W): compute {:.1}, SRAM {:.1}, interconnect {:.1}, HBM {:.1} => total {:.1}",
+        p.msm + p.forest + p.sumcheck + p.other, p.sram, p.interconnect, p.hbm, p.total());
+    println!(
+        "forest covers SumCheck product lanes: {} ({} muls vs {} needed)",
+        cfg.forest_covers_lanes(),
+        cfg.forest.total_muls(),
+        cfg.sumcheck.shared_lane_muls()
+    );
+}

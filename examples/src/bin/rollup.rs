@@ -1,0 +1,68 @@
+//! A private-rollup-style workload: Vanilla vs Jellyfish arithmetization.
+//!
+//! Proves the same application twice — once with Vanilla Plonk gates and
+//! once with the high-degree Jellyfish gates that pack Rescue S-boxes and
+//! ECC products into single rows — then extrapolates both to rollup scale
+//! with the zkPHIRE performance model (the paper's Table VIII trade).
+//!
+//! ```text
+//! cargo run --release -p zkphire-examples --bin rollup
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkphire_core::protocol::{simulate_protocol, Gate};
+use zkphire_core::system::ZkphireConfig;
+use zkphire_hyperplonk::{prove, setup, verify, Circuit, GateSystem};
+use zkphire_transcript::Transcript;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Functional miniature: the same workload expressed in both gate sets.
+    // Jellyfish packs ~2^2 more work per row here (the paper's workloads
+    // see 4-32x).
+    let vanilla_mu = 8;
+    let jellyfish_mu = 6;
+    println!("-- functional proofs (miniature) --");
+    for (name, system, mu) in [
+        ("Vanilla  ", GateSystem::Vanilla, vanilla_mu),
+        ("Jellyfish", GateSystem::Jellyfish, jellyfish_mu),
+    ] {
+        let (circuit, witness) = Circuit::random(system, mu, 0.6, &mut rng);
+        let (pk, vk) = setup(circuit, &mut rng);
+        let start = std::time::Instant::now();
+        let proof = prove(&pk, &witness, &mut Transcript::new(b"rollup"));
+        let elapsed = start.elapsed();
+        verify(&vk, &proof, &mut Transcript::new(b"rollup")).expect("verifies");
+        println!(
+            "{name} 2^{mu} gates: proved in {elapsed:>10.2?}, proof {} bytes",
+            proof.size_bytes()
+        );
+    }
+
+    // Modeled at rollup scale: Rollup of 25 private transactions
+    // (2^24 Vanilla gates = 2^19 Jellyfish gates, paper Table VIII).
+    println!("\n-- zkPHIRE model at rollup scale (exemplar 294 mm^2, 2 TB/s) --");
+    let cfg = ZkphireConfig::exemplar();
+    let vanilla = simulate_protocol(&cfg, Gate::Vanilla, 24, false);
+    let jellyfish = simulate_protocol(&cfg, Gate::Jellyfish, 19, false);
+    let jellyfish_masked = simulate_protocol(&cfg, Gate::Jellyfish, 19, true);
+    println!("Vanilla   2^24 gates: {:>9.3} ms", vanilla.total_ms);
+    println!(
+        "Jellyfish 2^19 gates: {:>9.3} ms ({:.2}x)",
+        jellyfish.total_ms,
+        vanilla.total_ms / jellyfish.total_ms
+    );
+    println!(
+        "  + Masked ZeroCheck: {:>9.3} ms ({:.2}x)",
+        jellyfish_masked.total_ms,
+        vanilla.total_ms / jellyfish_masked.total_ms
+    );
+    println!(
+        "\nJellyfish step shares: MSM {:.0}%, SumCheck {:.0}%, other {:.0}%",
+        100.0 * jellyfish.msm_ms() / jellyfish.total_ms,
+        100.0 * jellyfish.sumcheck_ms() / jellyfish.total_ms,
+        100.0 * jellyfish.other_ms() / jellyfish.total_ms
+    );
+}

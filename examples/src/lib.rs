@@ -1,0 +1,9 @@
+//! Runnable examples for the zkPHIRE reproduction.
+//!
+//! * `quickstart` — prove + verify a HyperPlonk circuit end to end;
+//! * `custom_gates` — program a Halo2-style high-degree gate, prove its
+//!   SumCheck functionally and project it on the accelerator model;
+//! * `rollup` — Vanilla vs Jellyfish arithmetization at rollup scale;
+//! * `design_explorer` — a miniature Table III design-space sweep.
+//!
+//! Run with `cargo run --release -p zkphire-examples --bin <name>`.

@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the zkPHIRE workspace.
+//!
+//! The suites live in `tests/`: gate-library coverage (every Table I row
+//! through the functional prover), model/functional consistency (shared
+//! op-count oracle, scheduler invariants), full-system model invariants
+//! and end-to-end protocol attacks.

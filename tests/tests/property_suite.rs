@@ -1,0 +1,122 @@
+//! Property-based integration tests: randomized structures exercised
+//! across crate boundaries (expression language → IR → prover → verifier,
+//! and IR → scheduler/simulator).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkphire_core::memory::MemoryConfig;
+use zkphire_core::profile::PolyProfile;
+use zkphire_core::sched::{node_count, schedule};
+use zkphire_core::sumcheck_unit::{simulate_sumcheck, SumcheckUnitConfig};
+use zkphire_field::Fr;
+use zkphire_poly::expr::{konst, var, GateExpr};
+use zkphire_poly::{Mle, MleKind};
+use zkphire_sumcheck::{prove, verify_with_oracle};
+use zkphire_transcript::Transcript;
+
+/// Random gate expressions over `num_vars` variables.
+fn arb_expr(num_vars: usize) -> impl Strategy<Value = GateExpr> {
+    let leaf = prop_oneof![(0..num_vars).prop_map(var), (-3i64..4).prop_map(konst)];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner, 1u32..4).prop_map(|(a, k)| a.pow(k)),
+        ]
+    })
+}
+
+fn random_mles(n: usize, mu: usize, seed: u64) -> Vec<Mle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Mle::from_fn(mu, |_| Fr::random(&mut rng)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any expressible gate round-trips through the full SumCheck stack.
+    #[test]
+    fn random_gate_sumcheck_roundtrip(e in arb_expr(3), seed in 0u64..1000) {
+        let poly = e.expand();
+        prop_assume!(poly.num_terms() > 0);
+        let mu = 4;
+        let mles = random_mles(poly.num_mles().max(1), mu, seed);
+        let mut tp = Transcript::new(b"prop");
+        let out = prove(&poly, mles.clone(), &mut tp);
+        prop_assert_eq!(out.proof.claimed_sum, poly.sum_over_hypercube(&mles));
+        let mut tv = Transcript::new(b"prop");
+        prop_assert!(verify_with_oracle(&poly, &mles, &out.proof, &mut tv).is_ok());
+    }
+
+    /// A tampered claim from any random gate is rejected.
+    #[test]
+    fn random_gate_tamper_rejected(e in arb_expr(3), seed in 0u64..1000) {
+        let poly = e.expand();
+        prop_assume!(poly.num_terms() > 0 && poly.degree() >= 1);
+        let mles = random_mles(poly.num_mles().max(1), 4, seed);
+        let mut tp = Transcript::new(b"prop");
+        let mut out = prove(&poly, mles, &mut tp);
+        out.proof.round_evals[1][0] += Fr::ONE;
+        let mut tv = Transcript::new(b"prop");
+        prop_assert!(zkphire_sumcheck::verify(&poly, 4, &out.proof, &mut tv).is_err());
+    }
+
+    /// The scheduler covers every factor exactly once for any gate shape,
+    /// with one Tmp buffer, for every EE count.
+    #[test]
+    fn random_gate_schedules_cleanly(e in arb_expr(4), ees in 2usize..8) {
+        let poly = e.expand();
+        prop_assume!(poly.num_terms() > 0 && poly.degree() >= 1);
+        let kinds = vec![MleKind::Dense; poly.num_mles()];
+        let profile = PolyProfile::from_composite(&poly, &kinds, "prop");
+        let plan = schedule(&profile, ees, false);
+        for (term, term_plan) in profile.terms.iter().zip(&plan.terms) {
+            let covered: usize = term_plan.nodes.iter().map(|n| n.new_factors.len()).sum();
+            prop_assert_eq!(covered, term.factors.len());
+            prop_assert_eq!(term_plan.nodes.len(), node_count(term.factors.len(), ees));
+        }
+        prop_assert!(plan.tmp_buffers() <= 1);
+    }
+
+    /// The simulator accepts any expressible gate and behaves sanely:
+    /// positive runtime, utilization in (0, 1], monotone in table size.
+    #[test]
+    fn random_gate_simulates(e in arb_expr(3), pls in 3usize..9) {
+        let poly = e.expand();
+        prop_assume!(poly.num_terms() > 0 && poly.degree() >= 1);
+        let kinds = vec![MleKind::Dense; poly.num_mles()];
+        let profile = PolyProfile::from_composite(&poly, &kinds, "prop");
+        let cfg = SumcheckUnitConfig {
+            pes: 8,
+            ees: 4,
+            pls,
+            bank_words: 1 << 12,
+            sparse_io: false,
+        };
+        let mem = MemoryConfig::new(512.0);
+        let small = simulate_sumcheck(&profile, 12, &cfg, &mem);
+        let large = simulate_sumcheck(&profile, 14, &cfg, &mem);
+        prop_assert!(small.total_cycles > 0.0);
+        prop_assert!(small.utilization > 0.0 && small.utilization <= 1.0);
+        prop_assert!(large.total_cycles > small.total_cycles);
+    }
+
+    /// MLE identity across crates: fixing variables one at a time agrees
+    /// with direct evaluation for arbitrary points.
+    #[test]
+    fn mle_fix_chain_matches_evaluate(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mu = 5;
+        let f = Mle::from_fn(mu, |_| Fr::random(&mut rng));
+        let point: Vec<Fr> = (0..mu).map(|_| Fr::random(&mut rng)).collect();
+        let mut g = f.clone();
+        for &r in &point {
+            g = g.fix_first_variable(r);
+        }
+        prop_assert_eq!(g.evals()[0], f.evaluate(&point));
+    }
+}

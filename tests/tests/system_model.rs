@@ -1,0 +1,117 @@
+//! Integration: full-system model invariants — protocol composition,
+//! masking, design-space exploration and the paper's headline relations.
+
+use zkphire_core::protocol::{simulate_protocol, Gate};
+use zkphire_core::system::ZkphireConfig;
+use zkphire_core::tech::PrimeMode;
+use zkphire_core::workloads::all_workloads;
+use zkphire_dse::{full_system_dse, DseSpace};
+
+#[test]
+fn protocol_total_equals_sum_of_steps_unmasked() {
+    let cfg = ZkphireConfig::exemplar();
+    let r = simulate_protocol(&cfg, Gate::Jellyfish, 20, false);
+    let sum = r.msm_ms() + r.sumcheck_ms() + r.other_ms();
+    assert!((r.total_ms - sum).abs() / sum < 1e-9, "{} vs {sum}", r.total_ms);
+}
+
+#[test]
+fn masking_saves_at_most_the_zerocheck() {
+    let cfg = ZkphireConfig::exemplar();
+    for mu in [16usize, 20, 24] {
+        let plain = simulate_protocol(&cfg, Gate::Jellyfish, mu, false);
+        let masked = simulate_protocol(&cfg, Gate::Jellyfish, mu, true);
+        let saving = plain.total_ms - masked.total_ms;
+        assert!(saving >= 0.0);
+        assert!(saving <= plain.zerocheck_ms + 1e-9, "mu {mu}");
+    }
+}
+
+#[test]
+fn jellyfish_beats_vanilla_at_iso_application() {
+    // Table VIII's premise at every published workload pair.
+    let cfg = ZkphireConfig::exemplar();
+    for w in all_workloads() {
+        if let (Some(v), Some(j)) = (w.vanilla_log2, w.jellyfish_log2) {
+            if v > 26 {
+                continue; // keep the test fast; large sizes covered below
+            }
+            let vanilla = simulate_protocol(&cfg, Gate::Vanilla, v, true).total_ms;
+            let jellyfish = simulate_protocol(&cfg, Gate::Jellyfish, j, true).total_ms;
+            assert!(
+                jellyfish < vanilla,
+                "{}: jellyfish {jellyfish} >= vanilla {vanilla}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scales_to_2_pow_30_constraints() {
+    // The paper's scalability claim: proofs for 2^30 nominal gates.
+    let cfg = ZkphireConfig::exemplar();
+    let r = simulate_protocol(&cfg, Gate::Vanilla, 30, true);
+    assert!(r.total_ms.is_finite() && r.total_ms > 0.0);
+    // Roughly linear from 2^24 (within 2x of perfect scaling).
+    let base = simulate_protocol(&cfg, Gate::Vanilla, 24, true);
+    let ratio = r.total_ms / base.total_ms;
+    assert!(ratio > 32.0 && ratio < 128.0, "ratio {ratio}");
+}
+
+#[test]
+fn speedup_vs_cpu_anchor_is_three_orders() {
+    // Table VII's headline: ~1000-1800x per workload against the paper's
+    // measured CPU runtimes.
+    let cfg = ZkphireConfig::exemplar();
+    for w in all_workloads() {
+        let (Some(j), Some(cpu)) = (w.jellyfish_log2, w.cpu_jellyfish_ms) else {
+            continue;
+        };
+        let ours = simulate_protocol(&cfg, Gate::Jellyfish, j, true).total_ms;
+        let speedup = cpu / ours;
+        assert!(
+            speedup > 300.0 && speedup < 5000.0,
+            "{}: speedup {speedup}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn dse_fronts_dominate_exemplar_neighbourhood() {
+    // Any Pareto point must not be dominated by the exemplar.
+    let dse = full_system_dse(&DseSpace::quick(), Gate::Jellyfish, 20, true, PrimeMode::Fixed);
+    let ex = ZkphireConfig::exemplar();
+    let ex_runtime = simulate_protocol(&ex, Gate::Jellyfish, 20, true).total_ms;
+    let ex_area = ex.area().total();
+    for front in &dse.tier_fronts {
+        for p in front {
+            let dominated = p.runtime_ms > ex_runtime && p.area_mm2 > ex_area
+                // same tier only — cross-tier PHY areas differ
+                && (p.config.mem.bandwidth_gbps - 2048.0).abs() < 1.0;
+            assert!(!dominated, "front point dominated by exemplar");
+        }
+    }
+}
+
+#[test]
+fn global_front_subset_of_tier_fronts() {
+    let dse = full_system_dse(&DseSpace::quick(), Gate::Vanilla, 18, false, PrimeMode::Fixed);
+    for g in &dse.global_front {
+        let found = dse.tier_fronts.iter().flatten().any(|p| {
+            (p.runtime_ms - g.runtime_ms).abs() < 1e-12 && (p.area_mm2 - g.area_mm2).abs() < 1e-12
+        });
+        assert!(found, "global point missing from tier fronts");
+    }
+}
+
+#[test]
+fn higher_degree_gate_system_costs_more_sumcheck_share() {
+    let cfg = ZkphireConfig::exemplar();
+    let vanilla = simulate_protocol(&cfg, Gate::Vanilla, 22, false);
+    let jellyfish = simulate_protocol(&cfg, Gate::Jellyfish, 22, false);
+    // At equal gate count, the degree-7 Jellyfish composite spends more
+    // absolute time in SumCheck than the degree-4 Vanilla one.
+    assert!(jellyfish.sumcheck_ms() > vanilla.sumcheck_ms());
+}
