@@ -43,7 +43,10 @@ mod tests {
         let profile = PolyProfile::from_gate(&table1_gate(1));
         let ms = cpu_sumcheck_ms(&profile, 25, 4);
         let ratio = ms / 6_770.0;
-        assert!(ratio > 0.75 && ratio < 1.35, "modeled {ms} ms (ratio {ratio})");
+        assert!(
+            ratio > 0.75 && ratio < 1.35,
+            "modeled {ms} ms (ratio {ratio})"
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Criterion benchmark for the fleet simulator's hot path: the
+//! event-queue engine and the full DES loop at ~1M events, giving later
+//! scheduler-policy PRs a perf baseline.
+//!
+//! Event accounting: each served request contributes one Arrival pop,
+//! one Dispatched and one Completed trace entry plus the BatchDone pop,
+//! so `REQUESTS` requests ≈ `4 × REQUESTS` engine transitions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zkphire_core::costdb::CostModel;
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{
+    simulate, uniform_trace, Event, EventQueue, FleetConfig, PolicyKind, RequestClass, SplitMix64,
+};
+
+/// 1M-event raw engine churn: push/pop through a deep heap.
+fn bench_event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_engine");
+    group.sample_size(10);
+    let events: u64 = 1_000_000;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function(BenchmarkId::new("heap_churn", events), |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SplitMix64::new(7);
+            let mut t = 0.0f64;
+            // Keep ~1k events in flight; every pop schedules a successor.
+            for i in 0..1_000u64 {
+                q.push(rng.next_f64() * 10.0, Event::Arrival(i));
+            }
+            let mut popped = 0u64;
+            while popped < events {
+                let (now, _) = q.pop().expect("non-empty");
+                t = now;
+                popped += 1;
+                q.push(now + rng.next_f64() * 10.0, Event::Arrival(popped));
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+/// Full DES loop: 250k single-class requests ≈ 1M engine transitions,
+/// cost model fully memoized after the first request.
+fn bench_full_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_sim");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let requests = 250_000usize;
+    group.throughput(Throughput::Elements(4 * requests as u64));
+    for policy in [PolicyKind::Fifo, PolicyKind::SizeClass] {
+        group.bench_function(BenchmarkId::new(policy.name(), requests), |b| {
+            let class = RequestClass::new(Gate::Jellyfish, 18);
+            let mut cost = CostModel::exemplar();
+            let per_proof = cost.proof_ms(Gate::Jellyfish, 18);
+            // Offered at ~0.9 of an 8-chip fleet's capacity.
+            let gap = per_proof / (8.0 * 0.9);
+            b.iter(|| {
+                let mut source = uniform_trace(class, requests, gap);
+                let cfg = FleetConfig::new(8).with_policy(policy);
+                simulate(&cfg, &mut source, &mut cost).summary.completed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_event_engine, bench_full_sim
+}
+criterion_main!(benches);

@@ -57,7 +57,9 @@ fn bench_mle(c: &mut Criterion) {
     group.bench_function("fix_first_variable_2^14", |bench| {
         bench.iter(|| f.fix_first_variable(r))
     });
-    group.bench_function("eq_table_2^14", |bench| bench.iter(|| Mle::eq_table(&point)));
+    group.bench_function("eq_table_2^14", |bench| {
+        bench.iter(|| Mle::eq_table(&point))
+    });
     group.finish();
 }
 

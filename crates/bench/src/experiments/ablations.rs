@@ -56,16 +56,19 @@ fn sparse_io() -> String {
                 format!("{:.2}", without.ms()),
                 format!("{:.2}", with.ms()),
                 format!("{:.2}x", without.total_cycles / with.total_cycles),
-                format!(
-                    "{:.1}%",
-                    100.0 * (1.0 - with.mem_bytes / without.mem_bytes)
-                ),
+                format!("{:.1}%", 100.0 * (1.0 - with.mem_bytes / without.mem_bytes)),
             ]
         })
         .collect();
     fmt_table(
         "Ablation 2 — sparsity-aware streaming on the Jellyfish ZeroCheck (2^22 gates)",
-        &["BW (GB/s)", "Dense (ms)", "Compressed (ms)", "Speedup", "Bytes saved"],
+        &[
+            "BW (GB/s)",
+            "Dense (ms)",
+            "Compressed (ms)",
+            "Speedup",
+            "Bytes saved",
+        ],
         &rows,
     )
 }
@@ -81,7 +84,10 @@ fn modinv() -> String {
     let rows = vec![
         vec![
             "zkSpeed (batch 64, dedicated muls)".to_string(),
-            format!("{:.2}", PermQuotConfig::zkspeed_modinv_area_mm2(PrimeMode::Arbitrary)),
+            format!(
+                "{:.2}",
+                PermQuotConfig::zkspeed_modinv_area_mm2(PrimeMode::Arbitrary)
+            ),
             "0.5/cycle".to_string(),
         ],
         vec![
@@ -176,7 +182,12 @@ fn scratchpad() -> String {
     ]);
     let mut out = fmt_table(
         "Ablation 5 — scratchpad size vs compute (§VI-B3), 2^22 Jellyfish gates",
-        &["SumCheck SRAM", "Runtime (ms)", "Area (mm^2)", "ms*mm^2 / 1000"],
+        &[
+            "SumCheck SRAM",
+            "Runtime (ms)",
+            "Area (mm^2)",
+            "ms*mm^2 / 1000",
+        ],
         &rows,
     );
     out.push_str(
@@ -189,7 +200,13 @@ fn scratchpad() -> String {
 /// All ablations, concatenated.
 pub fn ablations() -> String {
     let mut out = String::new();
-    for section in [masking(), sparse_io(), modinv(), forest_sharing(), scratchpad()] {
+    for section in [
+        masking(),
+        sparse_io(),
+        modinv(),
+        forest_sharing(),
+        scratchpad(),
+    ] {
         out.push_str(&section);
         out.push('\n');
     }

@@ -1,0 +1,150 @@
+//! Fleet-level experiments: the proving-*service* view the paper stops
+//! short of — throughput and tail latency of multi-chip zkPHIRE
+//! deployments under open-loop traffic, and SLO-driven fleet sizing.
+
+use zkphire_core::costdb::CostModel;
+use zkphire_core::system::ZkphireConfig;
+use zkphire_dse::{size_fleet, FleetSlo};
+use zkphire_fleet::{simulate, FleetConfig, PoissonSource, PolicyKind, WorkloadMix};
+
+use crate::fmt_table;
+
+/// Shared experiment traffic: Tables VI/VII Jellyfish mix capped at
+/// `2^21` gates, 8 s horizon, fixed seed — deterministic across runs.
+const HORIZON_MS: f64 = 8_000.0;
+const SEED: u64 = 0x5eed_f1ee7;
+const MU_CAP: usize = 21;
+
+/// The `fleet` experiment: a throughput / p99-latency table over chip
+/// counts × arrival rates, plus a policy comparison and an SLO sizing.
+pub fn fleet() -> String {
+    let chip_counts = [1usize, 2, 4, 8];
+    let rates = [50.0f64, 150.0, 400.0, 1000.0];
+    let mix = WorkloadMix::table_vii_jellyfish(MU_CAP);
+    // One memoized cost model across every sweep point: all points run
+    // the same chip config, so the protocol model is evaluated once per
+    // (gate, mu) class for the whole experiment.
+    let mut cost = CostModel::exemplar();
+
+    // Sweep: size-class batching on the exemplar chip.
+    let mut rows = Vec::new();
+    for &chips in &chip_counts {
+        for &rate in &rates {
+            let mut source = PoissonSource::new(rate, HORIZON_MS, mix.clone(), SEED);
+            let cfg = FleetConfig::new(chips);
+            let r = simulate(&cfg, &mut source, &mut cost);
+            let s = &r.summary;
+            rows.push(vec![
+                chips.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.1}", s.throughput_rps),
+                format!("{:.2}", s.mean_utilization),
+                format!("{:.1}", s.mean_queue_depth),
+                format!("{:.2}", s.p50_latency_ms),
+                format!("{:.2}", s.p95_latency_ms),
+                format!("{:.2}", s.p99_latency_ms),
+                format!("{:.2}", s.mean_batch_size),
+                format!("{:016x}", r.trace_hash),
+            ]);
+        }
+    }
+    let mut out = fmt_table(
+        "Fleet — exemplar chips, Tables VI/VII Jellyfish mix (<= 2^21), size-class batching",
+        &[
+            "Chips",
+            "Rate/s",
+            "Thru/s",
+            "Util",
+            "Queue",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "Batch",
+            "TraceHash",
+        ],
+        &rows,
+    );
+
+    // Policy face-off at one operating point.
+    let policy_rows: Vec<Vec<String>> = [
+        PolicyKind::Fifo,
+        PolicyKind::SizeClass,
+        PolicyKind::EarliestDeadline,
+    ]
+    .iter()
+    .map(|&policy| {
+        let mut source = PoissonSource::new(900.0, HORIZON_MS, mix.clone(), SEED);
+        let cfg = FleetConfig::new(2).with_policy(policy);
+        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        vec![
+            policy.name().to_string(),
+            format!("{:.1}", s.throughput_rps),
+            format!("{:.2}", s.mean_utilization),
+            format!("{:.2}", s.p50_latency_ms),
+            format!("{:.2}", s.p99_latency_ms),
+            format!("{:.3}", s.deadline_miss_rate),
+        ]
+    })
+    .collect();
+    out.push('\n');
+    out.push_str(&fmt_table(
+        "Policy comparison — 2 chips @ 900 req/s (contended)",
+        &["Policy", "Thru/s", "Util", "p50 ms", "p99 ms", "MissRate"],
+        &policy_rows,
+    ));
+
+    // SLO sizing: chips needed to hold p99 <= 50 ms as load grows.
+    let cfg = ZkphireConfig::exemplar();
+    let mut sizing_rows = Vec::new();
+    for &rate in &[100.0f64, 300.0, 600.0] {
+        let slo = FleetSlo {
+            arrival_rps: rate,
+            p99_ms: 50.0,
+            queue_capacity: None,
+            max_reject_fraction: 0.0,
+            horizon_ms: HORIZON_MS,
+            seed: SEED,
+        };
+        match size_fleet(&cfg, &mix, PolicyKind::SizeClass, &slo, 64) {
+            Some(sizing) => sizing_rows.push(vec![
+                format!("{rate:.0}"),
+                sizing.chips.to_string(),
+                format!("{:.2}", sizing.summary.p99_latency_ms),
+                format!("{:.0}", sizing.cost.total_area_mm2),
+                format!("{:.0}", sizing.cost.total_power_w),
+            ]),
+            None => sizing_rows.push(vec![
+                format!("{rate:.0}"),
+                ">64".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+    }
+    out.push('\n');
+    out.push_str(&fmt_table(
+        "SLO sizing — smallest fleet with p99 <= 50 ms (exemplar chip)",
+        &["Rate/s", "Chips", "p99 ms", "Area mm2", "Power W"],
+        &sizing_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_experiment_is_deterministic_and_complete() {
+        let a = fleet();
+        let b = fleet();
+        assert_eq!(a, b, "fleet experiment must be reproducible");
+        // ≥ 3 chip counts × ≥ 3 arrival rates in the sweep table.
+        for needle in ["Chips", "p99 ms", "TraceHash", "fifo", "size-class", "edf"] {
+            assert!(a.contains(needle), "missing {needle}");
+        }
+        let sweep_rows = a.lines().take_while(|l| !l.is_empty()).skip(3).count();
+        assert!(sweep_rows >= 9, "sweep rows {sweep_rows}");
+    }
+}

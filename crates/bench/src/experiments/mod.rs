@@ -1,19 +1,38 @@
 //! Experiment registry: one generator per paper table/figure.
 
 mod ablations;
+mod fleet_exps;
 mod sumcheck_exps;
 mod system_exps;
 mod workload_exps;
 
 pub use ablations::ablations;
+pub use fleet_exps::fleet;
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
 pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
-/// All experiment names in paper order.
-pub const ALL: [&str; 18] = [
-    "table1", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig10", "fig11", "fig12",
-    "table5", "fig13", "fig14", "table6", "table7", "table8", "table9", "ablations",
+/// All experiment names in paper order, then the post-paper extensions.
+pub const ALL: [&str; 19] = [
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table5",
+    "fig13",
+    "fig14",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "ablations",
+    "fleet",
 ];
 
 /// Runs one experiment by name.
@@ -38,6 +57,7 @@ pub fn run(name: &str) -> Option<String> {
         "table9" => table9(),
         "breakdown" => breakdown(),
         "ablations" => ablations(),
+        "fleet" => fleet(),
         _ => return None,
     })
 }

@@ -1,9 +1,7 @@
 //! Standalone programmable-SumCheck experiments: Table I, Figs. 6–9,
 //! Tables II–III.
 
-use zkphire_baselines::{
-    cpu_sumcheck_ms, gpu_sumcheck_ms, zkspeed_sumcheck_ms, ZkSpeedVariant,
-};
+use zkphire_baselines::{cpu_sumcheck_ms, gpu_sumcheck_ms, zkspeed_sumcheck_ms, ZkSpeedVariant};
 use zkphire_core::memory::MemoryConfig;
 use zkphire_core::profile::PolyProfile;
 use zkphire_core::sched::node_count;
@@ -38,7 +36,15 @@ pub fn table1() -> String {
         .collect();
     fmt_table(
         "Table I — polynomial constraint library (expanded sum-of-products form)",
-        &["ID", "Name", "Terms", "Degree", "MLEs", "MaxUniq/term", "Scalars"],
+        &[
+            "ID",
+            "Name",
+            "Terms",
+            "Degree",
+            "MLEs",
+            "MaxUniq/term",
+            "Scalars",
+        ],
         &rows,
     )
 }
@@ -50,8 +56,8 @@ pub fn fig6() -> String {
     let mut out = String::new();
     let mut rows = Vec::new();
     for bw in MemoryConfig::sweep_tiers() {
-        let result = sumcheck_dse(&training, MU, bw, CPU_4T_AREA_MM2)
-            .expect("37 mm^2 admits designs");
+        let result =
+            sumcheck_dse(&training, MU, bw, CPU_4T_AREA_MM2).expect("37 mm^2 admits designs");
         let best = &result.best;
         let speedups: Vec<f64> = training
             .iter()
@@ -72,7 +78,14 @@ pub fn fig6() -> String {
     }
     out.push_str(&fmt_table(
         "Fig. 6 — programmable SumCheck vs 4T CPU, polys 0-19, iso-area 37 mm^2 (lambda = 0.8)",
-        &["BW (GB/s)", "Design", "Area", "Gmean speedup", "Max speedup", "Mean util"],
+        &[
+            "BW (GB/s)",
+            "Design",
+            "Area",
+            "Gmean speedup",
+            "Max speedup",
+            "Mean util",
+        ],
         &rows,
     ));
     out.push_str(
@@ -91,10 +104,17 @@ pub fn fig7() -> String {
         .iter()
         .map(|&d| PolyProfile::from_gate(&high_degree_gate(d)))
         .collect();
-    let design = select_design(&family, MU, 1024.0, CPU_4T_AREA_MM2, 0.0, PrimeMode::Arbitrary)
-        .expect("cap admits designs")
-        .best
-        .config;
+    let design = select_design(
+        &family,
+        MU,
+        1024.0,
+        CPU_4T_AREA_MM2,
+        0.0,
+        PrimeMode::Arbitrary,
+    )
+    .expect("cap admits designs")
+    .best
+    .config;
 
     let degrees: Vec<usize> = (2..=30).step_by(4).collect();
     let mut lat_rows = Vec::new();
@@ -200,10 +220,7 @@ pub fn fig9() -> String {
 
     let mut rows = Vec::new();
     let mut totals = [0.0f64; 6];
-    for (phase, (&vg, &jg)) in phase_names
-        .iter()
-        .zip(vanilla.iter().zip(jellyfish.iter()))
-    {
+    for (phase, (&vg, &jg)) in phase_names.iter().zip(vanilla.iter().zip(jellyfish.iter())) {
         let zs = zk(vg, MU, ZkSpeedVariant::Baseline);
         let zsp = zk(vg, MU, ZkSpeedVariant::Plus);
         let phire_v = ours(vg, MU);
@@ -324,16 +341,66 @@ pub fn table2() -> String {
     // Problem sizes follow Table II's column for N = 24: "2N" = 2^25,
     // "2N+1" = 2^26, "2N-1" = 2^24.
     let rows_spec = vec![
-        Row { name: "(A*B-C)*f_tau", profile: PolyProfile::from_gate(&gates[1]), count: 1, mu: 25 },
-        Row { name: "(Sum_ABC)*Z", profile: PolyProfile::from_gate(&gates[2]), count: 1, mu: 26 },
-        Row { name: "A*B*C x12", profile: abc_profile(), count: 12, mu: 25 },
-        Row { name: "A*B*C x6", profile: abc_profile(), count: 6, mu: 24 },
-        Row { name: "A*B*C x4", profile: abc_profile(), count: 4, mu: 26 },
-        Row { name: "HP Poly 20 (no f_r)", profile: vanilla_no_fr_profile(), count: 1, mu: 25 },
-        Row { name: "HP Poly 21", profile: PolyProfile::from_gate(&gates[21]), count: 1, mu: 25 },
-        Row { name: "HP Poly 22", profile: PolyProfile::from_gate(&gates[22]), count: 1, mu: 25 },
-        Row { name: "HP Poly 23", profile: PolyProfile::from_gate(&gates[23]), count: 1, mu: 25 },
-        Row { name: "HP Poly 24", profile: PolyProfile::from_gate(&gates[24]), count: 1, mu: 25 },
+        Row {
+            name: "(A*B-C)*f_tau",
+            profile: PolyProfile::from_gate(&gates[1]),
+            count: 1,
+            mu: 25,
+        },
+        Row {
+            name: "(Sum_ABC)*Z",
+            profile: PolyProfile::from_gate(&gates[2]),
+            count: 1,
+            mu: 26,
+        },
+        Row {
+            name: "A*B*C x12",
+            profile: abc_profile(),
+            count: 12,
+            mu: 25,
+        },
+        Row {
+            name: "A*B*C x6",
+            profile: abc_profile(),
+            count: 6,
+            mu: 24,
+        },
+        Row {
+            name: "A*B*C x4",
+            profile: abc_profile(),
+            count: 4,
+            mu: 26,
+        },
+        Row {
+            name: "HP Poly 20 (no f_r)",
+            profile: vanilla_no_fr_profile(),
+            count: 1,
+            mu: 25,
+        },
+        Row {
+            name: "HP Poly 21",
+            profile: PolyProfile::from_gate(&gates[21]),
+            count: 1,
+            mu: 25,
+        },
+        Row {
+            name: "HP Poly 22",
+            profile: PolyProfile::from_gate(&gates[22]),
+            count: 1,
+            mu: 25,
+        },
+        Row {
+            name: "HP Poly 23",
+            profile: PolyProfile::from_gate(&gates[23]),
+            count: 1,
+            mu: 25,
+        },
+        Row {
+            name: "HP Poly 24",
+            profile: PolyProfile::from_gate(&gates[24]),
+            count: 1,
+            mu: 25,
+        },
     ];
 
     let rows: Vec<Vec<String>> = rows_spec
@@ -358,7 +425,14 @@ pub fn table2() -> String {
         .collect();
     let mut out = fmt_table(
         "Table II — SumCheck runtimes (ms), CPU (4T) / GPU (A100 ICICLE) / zkPHIRE (1 TB/s)",
-        &["Polynomial", "#SC", "Size", "CPU", "GPU", "zkPHIRE (speedups)"],
+        &[
+            "Polynomial",
+            "#SC",
+            "Size",
+            "CPU",
+            "GPU",
+            "zkPHIRE (speedups)",
+        ],
         &rows,
     );
     out.push_str(

@@ -122,7 +122,14 @@ pub fn fig10() -> String {
         .collect();
     out.push_str(&fmt_table(
         "Table IV — globally Pareto-optimal zkPHIRE designs",
-        &["Design", "Runtime (ms)", "Area (mm^2)", "BW (GB/s)", "CPU speedup", "Config"],
+        &[
+            "Design",
+            "Runtime (ms)",
+            "Area (mm^2)",
+            "BW (GB/s)",
+            "CPU speedup",
+            "Config",
+        ],
         &rows,
     ));
     out.push_str(
@@ -168,13 +175,24 @@ pub fn fig11() -> String {
     }
     let mut out = fmt_table(
         "Fig. 11 (left) — area % breakdown for Pareto designs A-D",
-        &["Design", "SumCheck", "Forest", "MSM", "SRAM", "HBM PHY", "Interconn", "Misc"],
+        &[
+            "Design",
+            "SumCheck",
+            "Forest",
+            "MSM",
+            "SRAM",
+            "HBM PHY",
+            "Interconn",
+            "Misc",
+        ],
         &area_rows,
     );
     out.push('\n');
     out.push_str(&fmt_table(
         "Fig. 11 (right) — runtime % breakdown (pre-masking)",
-        &["Design", "WitMSM", "WireMSM", "OpenMSM", "ZeroChk", "PermChk", "OpenChk", "Other"],
+        &[
+            "Design", "WitMSM", "WireMSM", "OpenMSM", "ZeroChk", "PermChk", "OpenChk", "Other",
+        ],
         &runtime_rows,
     ));
     out.push_str(
@@ -214,8 +232,7 @@ pub fn fig12() -> String {
             "43.8 (evals 10.1 + combine 5.7 + check 6.8 + MSM 21.2)".to_string(),
             format!(
                 "{:.1}",
-                100.0
-                    * (r.batch_eval_ms + r.combine_ms + r.opencheck_ms + r.polyopen_msm_ms)
+                100.0 * (r.batch_eval_ms + r.combine_ms + r.opencheck_ms + r.polyopen_msm_ms)
                     / total
             ),
         ],
@@ -241,15 +258,69 @@ pub fn table5() -> String {
     let a = cfg.area();
     let p = cfg.power();
     let rows = vec![
-        vec!["MSM (32 PEs)".into(), f2(a.msm), "105.69".into(), f2(p.msm), "58.99".into()],
-        vec!["Multifunc Forest (80 trees)".into(), f2(a.forest), "48.18".into(), f2(p.forest), "40.69".into()],
-        vec!["SumCheck (16 PEs)".into(), f2(a.sumcheck), "16.65".into(), f2(p.sumcheck), "14.43".into()],
-        vec!["Other".into(), f2(a.other), "10.64".into(), f2(p.other), "6.17".into()],
-        vec!["Total compute".into(), f2(a.compute()), "181.15".into(), f2(p.msm + p.forest + p.sumcheck + p.other), "120.29".into()],
-        vec!["SRAM".into(), f2(a.sram), "27.55".into(), f2(p.sram), "3.56".into()],
-        vec!["Interconnect".into(), f2(a.interconnect), "26.42".into(), f2(p.interconnect), "14.83".into()],
-        vec!["HBM3 (2 PHYs)".into(), f2(a.phy), "59.20".into(), f2(p.hbm), "63.60".into()],
-        vec!["Total".into(), f2(a.total()), "294.32".into(), f2(p.total()), "202.28".into()],
+        vec![
+            "MSM (32 PEs)".into(),
+            f2(a.msm),
+            "105.69".into(),
+            f2(p.msm),
+            "58.99".into(),
+        ],
+        vec![
+            "Multifunc Forest (80 trees)".into(),
+            f2(a.forest),
+            "48.18".into(),
+            f2(p.forest),
+            "40.69".into(),
+        ],
+        vec![
+            "SumCheck (16 PEs)".into(),
+            f2(a.sumcheck),
+            "16.65".into(),
+            f2(p.sumcheck),
+            "14.43".into(),
+        ],
+        vec![
+            "Other".into(),
+            f2(a.other),
+            "10.64".into(),
+            f2(p.other),
+            "6.17".into(),
+        ],
+        vec![
+            "Total compute".into(),
+            f2(a.compute()),
+            "181.15".into(),
+            f2(p.msm + p.forest + p.sumcheck + p.other),
+            "120.29".into(),
+        ],
+        vec![
+            "SRAM".into(),
+            f2(a.sram),
+            "27.55".into(),
+            f2(p.sram),
+            "3.56".into(),
+        ],
+        vec![
+            "Interconnect".into(),
+            f2(a.interconnect),
+            "26.42".into(),
+            f2(p.interconnect),
+            "14.83".into(),
+        ],
+        vec![
+            "HBM3 (2 PHYs)".into(),
+            f2(a.phy),
+            "59.20".into(),
+            f2(p.hbm),
+            "63.60".into(),
+        ],
+        vec![
+            "Total".into(),
+            f2(a.total()),
+            "294.32".into(),
+            f2(p.total()),
+            "202.28".into(),
+        ],
     ];
     fmt_table(
         "Table V — exemplar zkPHIRE design: area (mm^2) and average power (W), model vs paper",

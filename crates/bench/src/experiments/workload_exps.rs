@@ -112,10 +112,8 @@ pub fn table6() -> String {
             Some(vec![
                 w.name.to_string(),
                 format!("2^{mu}"),
-                w.cpu_vanilla_ms
-                    .map_or("-".into(), |c| format!("{c:.0}")),
-                w.zkspeed_plus_ms
-                    .map_or("-".into(), |z| format!("{z:.3}")),
+                w.cpu_vanilla_ms.map_or("-".into(), |c| format!("{c:.0}")),
+                w.zkspeed_plus_ms.map_or("-".into(), |z| format!("{z:.3}")),
                 format!("{ours:.3}"),
                 w.cpu_vanilla_ms
                     .map_or("-".into(), |c| format!("{:.0}x", c / ours)),
@@ -191,7 +189,14 @@ pub fn table8() -> String {
         .collect();
     let mut out = fmt_table(
         "Table VIII — iso-application: zkSpeed+ (Vanilla, paper anchor) vs zkPHIRE (Jellyfish)",
-        &["Workload", "Vanilla", "Jellyfish", "zkSpeed+", "zkPHIRE", "Speedup"],
+        &[
+            "Workload",
+            "Vanilla",
+            "Jellyfish",
+            "zkSpeed+",
+            "zkPHIRE",
+            "Speedup",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -234,18 +239,90 @@ pub fn table9() -> String {
         + cfg.combine.muls;
 
     let rows = vec![
-        vec!["Workload".into(), "Scaled AES".into(), "Rollup 25".into(), "Rollup 25".into(), "Rollup 25".into()],
-        vec!["Protocol".into(), "Spartan+Orion".into(), "Groth16".into(), "HyperPlonk".into(), "HyperPlonk".into()],
-        vec!["Gates".into(), "2^24".into(), "2^24".into(), "2^24".into(), "2^19".into()],
-        vec!["Encoding".into(), "R1CS".into(), "R1CS".into(), "Plonk (Vanilla)".into(), "Plonk (Jellyfish)".into()],
-        vec!["Proof size".into(), "8.1 MB".into(), "0.18 KB".into(), "5.09 KB".into(), format!("{proof_kb:.2} KB (paper 4.41)")],
-        vec!["Setup".into(), "none".into(), "circuit-specific".into(), "universal".into(), "universal".into()],
-        vec!["Prime".into(), "fixed".into(), "arbitrary".into(), "arbitrary".into(), "fixed".into()],
-        vec!["SW prover (s)".into(), "94.2".into(), "51.18".into(), "145.5".into(), "6.161".into()],
-        vec!["HW prover (ms)".into(), "151.3".into(), "28.43".into(), "151.973".into(), format!("{ours_ms:.3} (paper 3.874)")],
-        vec!["Chip area (mm^2)".into(), "38.73".into(), "353.2".into(), "366.46".into(), format!("{:.2} (paper 294.32)", area.total())],
-        vec!["# Modmuls".into(), "2432".into(), "1720".into(), "1206".into(), format!("{modmuls} (paper 2267)")],
-        vec!["Power (W)".into(), "62".into(), ">220".into(), "171".into(), format!("{:.0} (paper 202)", power.total())],
+        vec![
+            "Workload".into(),
+            "Scaled AES".into(),
+            "Rollup 25".into(),
+            "Rollup 25".into(),
+            "Rollup 25".into(),
+        ],
+        vec![
+            "Protocol".into(),
+            "Spartan+Orion".into(),
+            "Groth16".into(),
+            "HyperPlonk".into(),
+            "HyperPlonk".into(),
+        ],
+        vec![
+            "Gates".into(),
+            "2^24".into(),
+            "2^24".into(),
+            "2^24".into(),
+            "2^19".into(),
+        ],
+        vec![
+            "Encoding".into(),
+            "R1CS".into(),
+            "R1CS".into(),
+            "Plonk (Vanilla)".into(),
+            "Plonk (Jellyfish)".into(),
+        ],
+        vec![
+            "Proof size".into(),
+            "8.1 MB".into(),
+            "0.18 KB".into(),
+            "5.09 KB".into(),
+            format!("{proof_kb:.2} KB (paper 4.41)"),
+        ],
+        vec![
+            "Setup".into(),
+            "none".into(),
+            "circuit-specific".into(),
+            "universal".into(),
+            "universal".into(),
+        ],
+        vec![
+            "Prime".into(),
+            "fixed".into(),
+            "arbitrary".into(),
+            "arbitrary".into(),
+            "fixed".into(),
+        ],
+        vec![
+            "SW prover (s)".into(),
+            "94.2".into(),
+            "51.18".into(),
+            "145.5".into(),
+            "6.161".into(),
+        ],
+        vec![
+            "HW prover (ms)".into(),
+            "151.3".into(),
+            "28.43".into(),
+            "151.973".into(),
+            format!("{ours_ms:.3} (paper 3.874)"),
+        ],
+        vec![
+            "Chip area (mm^2)".into(),
+            "38.73".into(),
+            "353.2".into(),
+            "366.46".into(),
+            format!("{:.2} (paper 294.32)", area.total()),
+        ],
+        vec![
+            "# Modmuls".into(),
+            "2432".into(),
+            "1720".into(),
+            "1206".into(),
+            format!("{modmuls} (paper 2267)"),
+        ],
+        vec![
+            "Power (W)".into(),
+            "62".into(),
+            ">220".into(),
+            "171".into(),
+            format!("{:.0} (paper 202)", power.total()),
+        ],
     ];
     let mut out = fmt_table(
         "Table IX — comparison with prior ZKP accelerators (competitor columns are published values)",

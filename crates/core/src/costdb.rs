@@ -1,0 +1,118 @@
+//! Memoized protocol-cost queries.
+//!
+//! The discrete-event fleet simulator (`zkphire-fleet`) asks for the
+//! per-proof latency of a `(gate, 2^mu)` request class on every dispatch
+//! decision. Re-running [`simulate_protocol`] each time would redo the
+//! whole five-step analytical schedule — identical inputs, identical
+//! outputs — millions of times per simulation. [`CostModel`] wraps one
+//! design point and caches every report by `(gate, mu)` (the masking
+//! flag is fixed per model), so the steady-state cost of a query is one
+//! `HashMap` probe.
+
+use std::collections::HashMap;
+
+use crate::protocol::{simulate_protocol, Gate, ProtocolReport};
+use crate::system::ZkphireConfig;
+
+/// A memoized view of [`simulate_protocol`] for one design point.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    cfg: ZkphireConfig,
+    masking: bool,
+    cache: HashMap<(Gate, usize), ProtocolReport>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostModel {
+    /// Wraps `cfg`; `masking` selects Masked-ZeroCheck composition.
+    pub fn new(cfg: ZkphireConfig, masking: bool) -> Self {
+        Self {
+            cfg,
+            masking,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The exemplar Table V design with Masked ZeroCheck — the default
+    /// chip the fleet simulator deploys.
+    pub fn exemplar() -> Self {
+        Self::new(ZkphireConfig::exemplar(), true)
+    }
+
+    /// The wrapped design point.
+    pub fn config(&self) -> &ZkphireConfig {
+        &self.cfg
+    }
+
+    /// Full per-step report for a `2^mu`-gate proof, memoized.
+    pub fn report(&mut self, gate: Gate, mu: usize) -> ProtocolReport {
+        match self.cache.get(&(gate, mu)) {
+            Some(r) => {
+                self.hits += 1;
+                *r
+            }
+            None => {
+                self.misses += 1;
+                let r = simulate_protocol(&self.cfg, gate, mu, self.masking);
+                self.cache.insert((gate, mu), r);
+                r
+            }
+        }
+    }
+
+    /// End-to-end prover latency in milliseconds, memoized.
+    pub fn proof_ms(&mut self, gate: Gate, mu: usize) -> f64 {
+        self.report(gate, mu).total_ms
+    }
+
+    /// Fills the cache for every `(gate, mu)` pair up front so a
+    /// simulation's hot loop never pays a model evaluation.
+    pub fn prewarm<I: IntoIterator<Item = (Gate, usize)>>(&mut self, classes: I) {
+        for (gate, mu) in classes {
+            self.report(gate, mu);
+        }
+    }
+
+    /// `(cache hits, cache misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoized_matches_direct() {
+        let mut db = CostModel::exemplar();
+        let direct = simulate_protocol(&ZkphireConfig::exemplar(), Gate::Jellyfish, 20, true);
+        let cached_cold = db.proof_ms(Gate::Jellyfish, 20);
+        let cached_warm = db.proof_ms(Gate::Jellyfish, 20);
+        assert_eq!(cached_cold, direct.total_ms);
+        assert_eq!(cached_warm, direct.total_ms);
+        assert_eq!(db.stats(), (1, 1));
+    }
+
+    #[test]
+    fn prewarm_fills_cache() {
+        let mut db = CostModel::exemplar();
+        db.prewarm([(Gate::Vanilla, 18), (Gate::Jellyfish, 18)]);
+        assert_eq!(db.stats(), (0, 2));
+        db.proof_ms(Gate::Vanilla, 18);
+        db.proof_ms(Gate::Jellyfish, 18);
+        assert_eq!(db.stats(), (2, 2));
+    }
+
+    #[test]
+    fn distinct_classes_distinct_costs() {
+        let mut db = CostModel::exemplar();
+        let small = db.proof_ms(Gate::Jellyfish, 18);
+        let large = db.proof_ms(Gate::Jellyfish, 22);
+        assert!(large > small);
+        assert!(small > 0.0);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`system`] — full-chip area/power (Table V);
 //! * [`protocol`] — the five-step HyperPlonk schedule with Masked
 //!   ZeroCheck (§IV-A);
+//! * [`costdb`] — memoized protocol-cost queries (the service-time
+//!   oracle behind the `zkphire-fleet` discrete-event simulator);
 //! * [`workloads`] — the Tables VI/VII workload suite.
 //!
 //! # Examples
@@ -29,6 +31,7 @@
 //! println!("2^20 Jellyfish gates: {:.3} ms", report.total_ms);
 //! ```
 
+pub mod costdb;
 pub mod forest;
 pub mod memory;
 pub mod mle_combine;
@@ -44,6 +47,7 @@ pub mod system;
 pub mod tech;
 pub mod workloads;
 
+pub use costdb::CostModel;
 pub use memory::MemoryConfig;
 pub use profile::PolyProfile;
 pub use sumcheck_unit::{simulate_sumcheck, SumcheckReport, SumcheckUnitConfig};

@@ -40,8 +40,7 @@ impl MleCombineConfig {
         let passes = inputs.div_ceil(COMBINE_BUFFERS) as f64;
         let elems_per_cycle = (self.muls as f64 / COMBINE_BUFFERS as f64).max(1.0);
         let compute = passes * n / elems_per_cycle;
-        let mem_bytes =
-            (inputs as f64 + 2.0 * (passes - 1.0) + 1.0) * n * ELEMENT_BYTES;
+        let mem_bytes = (inputs as f64 + 2.0 * (passes - 1.0) + 1.0) * n * ELEMENT_BYTES;
         compute.max(mem.cycles_for_bytes(mem_bytes)) + 64.0
     }
 }
@@ -69,8 +68,8 @@ mod tests {
         // At 2 TB/s the default unit must not be compute-limited.
         let cfg = MleCombineConfig::default();
         let real = cfg.combine_cycles(27, 1 << 24, &MemoryConfig::new(2048.0));
-        let infinite_compute = MleCombineConfig { muls: 4096 }
-            .combine_cycles(27, 1 << 24, &MemoryConfig::new(2048.0));
+        let infinite_compute =
+            MleCombineConfig { muls: 4096 }.combine_cycles(27, 1 << 24, &MemoryConfig::new(2048.0));
         assert!((real - infinite_compute).abs() / real < 0.05);
     }
 

@@ -143,7 +143,12 @@ mod tests {
         // reuse" — at HBM bandwidth the unit must not be memory bound.
         let mem = MemoryConfig::new(2048.0);
         let r = simulate_msm(1 << 24, ScalarProfile::Dense, &cfg(), &mem);
-        let compute_only = simulate_msm(1 << 24, ScalarProfile::Dense, &cfg(), &MemoryConfig::new(1e9));
+        let compute_only = simulate_msm(
+            1 << 24,
+            ScalarProfile::Dense,
+            &cfg(),
+            &MemoryConfig::new(1e9),
+        );
         assert!((r.cycles - compute_only.cycles).abs() / r.cycles < 0.01);
     }
 

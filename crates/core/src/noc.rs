@@ -82,8 +82,7 @@ pub fn peak_onchip_bandwidth_gbps(cfg: &ZkphireConfig) -> f64 {
 /// requirement and the configuration's peak bandwidth.
 pub fn provision_bus(cfg: &ZkphireConfig) -> BusSpec {
     let bytes_per_cycle = 64;
-    let for_bandwidth =
-        (peak_onchip_bandwidth_gbps(cfg) / bytes_per_cycle as f64).ceil() as usize;
+    let for_bandwidth = (peak_onchip_bandwidth_gbps(cfg) / bytes_per_cycle as f64).ceil() as usize;
     BusSpec {
         channels: for_bandwidth.max(BusPhase::WireIdentity.required_channels()),
         bytes_per_cycle,
@@ -98,10 +97,7 @@ mod tests {
     fn exemplar_peaks_near_19_tbps() {
         // §IV-B6: "the peak bandwidth requirement reaches 19 TB/s".
         let peak = peak_onchip_bandwidth_gbps(&ZkphireConfig::exemplar());
-        assert!(
-            peak > 15_000.0 && peak < 23_000.0,
-            "peak {peak} GB/s"
-        );
+        assert!(peak > 15_000.0 && peak < 23_000.0, "peak {peak} GB/s");
     }
 
     #[test]

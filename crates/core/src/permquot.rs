@@ -42,9 +42,7 @@ impl PermQuotConfig {
     /// multipliers.
     pub fn area_mm2(&self, prime: PrimeMode) -> f64 {
         let mm = prime.modmul_255_mm2();
-        self.pes as f64 * 6.0 * mm
-            + self.inverse_units as f64 * tech::MODINV_MM2
-            + 2.0 * mm
+        self.pes as f64 * 6.0 * mm + self.inverse_units as f64 * tech::MODINV_MM2 + 2.0 * mm
     }
 
     /// Area of zkSpeed's batch-64 ModInv design at equal throughput
@@ -85,8 +83,7 @@ pub fn simulate_permquot(
     let gen_cycles = n * w / cfg.pes as f64;
     // ϕ needs one inversion per row of the combined denominator; the pool
     // sustains `inversion_throughput` initiations per cycle.
-    let inv_cycles = n / (2.0 * cfg.inversion_throughput().max(1e-9))
-        + INVERSION_LATENCY_CYCLES;
+    let inv_cycles = n / (2.0 * cfg.inversion_throughput().max(1e-9)) + INVERSION_LATENCY_CYCLES;
 
     // Traffic: read witnesses (sparse) and σ (dense), write N/D to HBM
     // (§IV-B5: intermediate N, D MLEs are written to HBM), stream ϕ out.

@@ -97,7 +97,11 @@ impl PolyProfile {
 
     /// Composite degree: `K = degree() + 1` evaluations per round.
     pub fn degree(&self) -> usize {
-        self.terms.iter().map(TermProfile::degree).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(TermProfile::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Distinct slots referenced anywhere.
@@ -175,12 +179,7 @@ mod tests {
         assert_eq!(p.degree(), 7);
         assert_eq!(p.eq_slot, Some(18));
         // w1^5 term has 5 copies of one slot plus q_H1 and f_r.
-        let max_mult = p
-            .terms
-            .iter()
-            .map(|t| t.factors.len())
-            .max()
-            .unwrap();
+        let max_mult = p.terms.iter().map(|t| t.factors.len()).max().unwrap();
         assert_eq!(max_mult, 7);
     }
 

@@ -82,8 +82,13 @@ pub struct ScProgram {
 }
 
 impl ScProgram {
-    /// Instructions of a given round (by position of ConfigureRound markers).
-    pub fn round_slice(&self, round: usize) -> &[ScInstruction] {
+    /// Instructions of a given 1-based round (by position of
+    /// ConfigureRound markers). Returns `None` when `round` is 0 or
+    /// beyond the programmed rounds.
+    pub fn round_slice(&self, round: usize) -> Option<&[ScInstruction]> {
+        if round == 0 {
+            return None;
+        }
         let starts: Vec<usize> = self
             .instructions
             .iter()
@@ -93,9 +98,12 @@ impl ScProgram {
                 _ => None,
             })
             .collect();
-        let begin = starts[round - 1];
-        let end = starts.get(round).copied().unwrap_or(self.instructions.len());
-        &self.instructions[begin..end]
+        let begin = *starts.get(round - 1)?;
+        let end = starts
+            .get(round)
+            .copied()
+            .unwrap_or(self.instructions.len());
+        Some(&self.instructions[begin..end])
     }
 
     /// Total ExecNode instructions (the Fig. 2 step count × rounds).
@@ -121,8 +129,16 @@ fn bank_of(slot: usize) -> usize {
 pub fn lower(profile: &PolyProfile, cfg: &SumcheckUnitConfig, mu: usize) -> ScProgram {
     assert!(cfg.ees >= 2, "need at least two Extension Engines");
     let has_eq = profile.eq_slot.is_some();
-    let r1_ees = if has_eq { (cfg.ees - 1).max(2) } else { cfg.ees };
-    let r1_pls = if has_eq { (cfg.pls - 1).max(1) } else { cfg.pls };
+    let r1_ees = if has_eq {
+        (cfg.ees - 1).max(2)
+    } else {
+        cfg.ees
+    };
+    let r1_pls = if has_eq {
+        (cfg.pls - 1).max(1)
+    } else {
+        cfg.pls
+    };
     let sched_r1: Schedule = schedule(profile, r1_ees, has_eq);
     let sched_rest: Schedule = schedule(profile, cfg.ees, false);
 
@@ -238,7 +254,7 @@ mod tests {
     #[test]
     fn round1_bypasses_update_and_builds_eq() {
         let (_, prog) = vanilla_program(4);
-        let round1 = prog.round_slice(1);
+        let round1 = prog.round_slice(1).unwrap();
         assert!(matches!(
             round1[0],
             ScInstruction::ConfigureRound {
@@ -250,7 +266,7 @@ mod tests {
             .iter()
             .any(|op| matches!(op, ScInstruction::BuildEq { .. })));
         // Later rounds must not rebuild f_r and must not bypass the update.
-        let round2 = prog.round_slice(2);
+        let round2 = prog.round_slice(2).unwrap();
         assert!(!round2
             .iter()
             .any(|op| matches!(op, ScInstruction::BuildEq { .. })));
@@ -268,7 +284,7 @@ mod tests {
         let (profile, prog) = vanilla_program(3);
         for round in 1..=3 {
             let mut available: Vec<bool> = vec![false; profile.mle_kinds.len()];
-            for op in prog.round_slice(round) {
+            for op in prog.round_slice(round).unwrap() {
                 match op {
                     ScInstruction::Prefetch { slot, .. } => available[*slot] = true,
                     ScInstruction::BuildEq { .. } => {
@@ -339,10 +355,12 @@ mod tests {
         let (profile, prog) = vanilla_program(3);
         assert!(!prog
             .round_slice(1)
+            .unwrap()
             .iter()
             .any(|op| matches!(op, ScInstruction::WriteBack { .. })));
         let wb2 = prog
             .round_slice(2)
+            .unwrap()
             .iter()
             .filter(|op| matches!(op, ScInstruction::WriteBack { .. }))
             .count();

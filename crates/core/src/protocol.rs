@@ -11,7 +11,7 @@ use crate::system::ZkphireConfig;
 use zkphire_poly::table1_gate;
 
 /// Which arithmetization the protocol model simulates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Gate {
     /// Vanilla Plonk gates (Table I rows 20/21).
     Vanilla,
@@ -157,13 +157,15 @@ pub fn simulate_protocol(
     // level sums to ≈ one more dense MSM).
     let oc = simulate_sumcheck(&gate.opencheck_profile(), mu, &cfg.sumcheck, &cfg.mem);
     let opencheck_ms = oc.ms();
-    let combine_ms = to_ms(cfg.combine.combine_cycles(gate.distinct_polys(), n, &cfg.mem));
+    let combine_ms = to_ms(
+        cfg.combine
+            .combine_cycles(gate.distinct_polys(), n, &cfg.mem),
+    );
     let polyopen_msm_ms = to_ms(2.0 * dense.cycles);
 
     // Composition: Masked ZeroCheck overlaps the Gate Identity ZeroCheck
     // under Wire Identity's MSM phase (§IV-A "Masking ZeroCheck").
-    let serial_tail =
-        permcheck_ms + batch_eval_ms + opencheck_ms + combine_ms + polyopen_msm_ms;
+    let serial_tail = permcheck_ms + batch_eval_ms + opencheck_ms + combine_ms + polyopen_msm_ms;
     let total_ms = if masking {
         witness_msm_ms + permquot_ms + zerocheck_ms.max(wiring_msm_ms) + serial_tail
     } else {
@@ -253,7 +255,12 @@ mod tests {
         // Fig. 12b: MSM-heavy steps dominate zkPHIRE runtime.
         let cfg = ZkphireConfig::exemplar();
         let r = simulate_protocol(&cfg, Gate::Jellyfish, 24, false);
-        assert!(r.msm_ms() > r.sumcheck_ms(), "msm {} sc {}", r.msm_ms(), r.sumcheck_ms());
+        assert!(
+            r.msm_ms() > r.sumcheck_ms(),
+            "msm {} sc {}",
+            r.msm_ms(),
+            r.sumcheck_ms()
+        );
     }
 
     #[test]

@@ -175,12 +175,7 @@ mod tests {
             for d in 2..=30 {
                 let p = PolyProfile::from_gate(&high_degree_gate(d));
                 let s = schedule(&p, ees, false);
-                let big_term = s
-                    .terms
-                    .iter()
-                    .map(|t| t.nodes.len())
-                    .max()
-                    .unwrap();
+                let big_term = s.terms.iter().map(|t| t.nodes.len()).max().unwrap();
                 assert_eq!(big_term, node_count(d, ees), "d={d} ees={ees}");
             }
         }

@@ -126,7 +126,10 @@ pub fn simulate_sumcheck(
     cfg: &SumcheckUnitConfig,
     mem: &MemoryConfig,
 ) -> SumcheckReport {
-    assert!(cfg.ees >= 2 && cfg.pls >= 1 && cfg.pes >= 1, "degenerate config");
+    assert!(
+        cfg.ees >= 2 && cfg.pls >= 1 && cfg.pes >= 1,
+        "degenerate config"
+    );
     assert!(mu >= 1);
     let has_eq = profile.eq_slot.is_some();
     let unique = profile.unique_slots();
@@ -134,8 +137,16 @@ pub fn simulate_sumcheck(
     let k = profile.degree() + 1;
 
     // Round-1 schedule with f_r fused out (one EE + one PL reserved).
-    let r1_ees = if has_eq { (cfg.ees - 1).max(2) } else { cfg.ees };
-    let r1_pls = if has_eq { (cfg.pls - 1).max(1) } else { cfg.pls };
+    let r1_ees = if has_eq {
+        (cfg.ees - 1).max(2)
+    } else {
+        cfg.ees
+    };
+    let r1_pls = if has_eq {
+        (cfg.pls - 1).max(1)
+    } else {
+        cfg.pls
+    };
     let sched_r1: Schedule = schedule(profile, r1_ees, has_eq);
     let sched_rest: Schedule = schedule(profile, cfg.ees, false);
 
@@ -349,7 +360,11 @@ mod tests {
             sparse_io: true,
         };
         let r = simulate_sumcheck(&p, 22, &small, &MemoryConfig::new(1024.0));
-        assert!(r.utilization > 0.1 && r.utilization < 0.95, "{}", r.utilization);
+        assert!(
+            r.utilization > 0.1 && r.utilization < 0.95,
+            "{}",
+            r.utilization
+        );
     }
 
     #[test]

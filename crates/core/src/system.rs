@@ -97,7 +97,12 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Total average power.
     pub fn total(&self) -> f64 {
-        self.msm + self.forest + self.sumcheck + self.other + self.sram + self.interconnect
+        self.msm
+            + self.forest
+            + self.sumcheck
+            + self.other
+            + self.sram
+            + self.interconnect
             + self.hbm
     }
 }
@@ -197,12 +202,24 @@ mod tests {
         // Other 10.64, SRAM 27.55, Interconnect 26.42, HBM PHY 59.20,
         // total 294.32 mm². Allow a few percent of calibration slack.
         assert!((a.msm - 105.69).abs() / 105.69 < 0.03, "msm {}", a.msm);
-        assert!((a.forest - 48.18).abs() / 48.18 < 0.03, "forest {}", a.forest);
-        assert!((a.sumcheck - 16.65).abs() / 16.65 < 0.05, "sc {}", a.sumcheck);
+        assert!(
+            (a.forest - 48.18).abs() / 48.18 < 0.03,
+            "forest {}",
+            a.forest
+        );
+        assert!(
+            (a.sumcheck - 16.65).abs() / 16.65 < 0.05,
+            "sc {}",
+            a.sumcheck
+        );
         assert!((a.other - 10.64).abs() / 10.64 < 0.10, "other {}", a.other);
         assert!((a.interconnect - 26.42).abs() / 26.42 < 0.05);
         assert!((a.phy - 59.20).abs() < 0.1);
-        assert!((a.total() - 294.32).abs() / 294.32 < 0.05, "total {}", a.total());
+        assert!(
+            (a.total() - 294.32).abs() / 294.32 < 0.05,
+            "total {}",
+            a.total()
+        );
     }
 
     #[test]
@@ -212,7 +229,11 @@ mod tests {
         assert!((p.forest - 40.69).abs() < 0.5);
         assert!((p.hbm - 63.60).abs() < 0.5);
         // Total 202.28 W.
-        assert!((p.total() - 202.28).abs() / 202.28 < 0.05, "total {}", p.total());
+        assert!(
+            (p.total() - 202.28).abs() / 202.28 < 0.05,
+            "total {}",
+            p.total()
+        );
     }
 
     #[test]

@@ -87,9 +87,7 @@ impl G1Affine {
 
     /// Samples a random group element as `generator * random_scalar`.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self::generator()
-            .mul_fr(&Fr::random(rng))
-            .to_affine()
+        Self::generator().mul_fr(&Fr::random(rng)).to_affine()
     }
 
     /// Serializes to uncompressed bytes (96 bytes; identity is all zeros

@@ -82,7 +82,10 @@ pub fn msm_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOp
                 scope.spawn(move || window_sum(points, canonical, w, window_bits))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("window thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("window thread"))
+            .collect()
     });
 
     // Aggregate windows from most significant down.
@@ -155,11 +158,7 @@ fn extract_digit(limbs: &[u64; 4], window_index: usize, window_bits: u32) -> usi
 /// Reference MSM by direct double-and-add; used to validate [`msm`].
 pub fn msm_naive(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
     assert_eq!(points.len(), scalars.len());
-    points
-        .iter()
-        .zip(scalars)
-        .map(|(p, s)| p.mul_fr(s))
-        .sum()
+    points.iter().zip(scalars).map(|(p, s)| p.mul_fr(s)).sum()
 }
 
 #[cfg(test)]
@@ -179,7 +178,11 @@ mod tests {
     fn matches_naive_small() {
         for n in [1usize, 2, 3, 7, 16, 33] {
             let (points, scalars) = random_inputs(n, n as u64);
-            assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars), "n={n}");
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "n={n}"
+            );
         }
     }
 

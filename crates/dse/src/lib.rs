@@ -10,11 +10,21 @@
 //! * [`full_system_dse`] — the Table III cross-product over full zkPHIRE
 //!   designs, yielding per-bandwidth and global Pareto frontiers over
 //!   (runtime, area) for a `2^µ`-gate workload (Fig. 10 / Table IV).
+//!
+//! A third exploration goes beyond the paper, to deployment altitude:
+//!
+//! * [`fleet_objective`] — sizes a *fleet* of chips against a p99
+//!   latency SLO and traffic level via the `zkphire-fleet`
+//!   discrete-event simulator, reporting the area/power cost roll-up.
 
+pub mod fleet_objective;
 pub mod objective;
 pub mod pareto;
 pub mod space;
 
+pub use fleet_objective::{
+    evaluate_fleet, evaluate_fleet_with, fleet_cost, size_fleet, FleetCost, FleetSizing, FleetSlo,
+};
 pub use objective::{select_design, sumcheck_dse, DesignScore, SumcheckDseResult};
 pub use pareto::{global_pareto, pareto_front, ParetoPoint};
 pub use space::{full_system_dse, DseSpace, FullSystemPoint};

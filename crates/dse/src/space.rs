@@ -14,7 +14,7 @@ use zkphire_core::permquot::{simulate_permquot, PermQuotConfig};
 use zkphire_core::protocol::Gate;
 use zkphire_core::sumcheck_unit::{simulate_sumcheck, SumcheckUnitConfig};
 use zkphire_core::system::ZkphireConfig;
-use zkphire_core::tech::{MULS_PER_TREE, PrimeMode};
+use zkphire_core::tech::{PrimeMode, MULS_PER_TREE};
 
 use crate::pareto::{pareto_front, ParetoPoint};
 
@@ -233,8 +233,7 @@ pub fn full_system_dse(
                         let wiring_ms = 3.0 * msm.dense_ms;
                         let open_ms = 2.0 * msm.dense_ms;
                         let permquot_ms = pq_ms + sc.pi_build_ms;
-                        let tail =
-                            sc.pc_ms + sc.batch_ms + sc.oc_ms + combine_ms + open_ms;
+                        let tail = sc.pc_ms + sc.batch_ms + sc.oc_ms + combine_ms + open_ms;
                         let runtime_ms = if masking {
                             witness_ms + permquot_ms + sc.zc_ms.max(wiring_ms) + tail
                         } else {

@@ -242,7 +242,7 @@ mod tests {
     fn mont_mul_identity() {
         let inv = mont_neg_inv(M[0]);
         let r = pow2_mod(&M, 128); // R mod m
-        // mont_mul(x, R) == x for x < m
+                                   // mont_mul(x, R) == x for x < m
         let x = [123_456_789u64, 42];
         assert_eq!(mont_mul(&x, &r, &M, inv), x);
     }

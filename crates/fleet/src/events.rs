@@ -1,0 +1,175 @@
+//! The event-queue engine: a binary heap of timestamped events with a
+//! monotone sequence number breaking timestamp ties, so pop order is a
+//! total order independent of heap internals — the root of the
+//! simulator's bit-for-bit reproducibility.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation timestamps are `f64` milliseconds; the engine rejects NaN.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimTime(pub f64);
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN simulation time")
+    }
+}
+
+/// What happens at a timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A request arrives from the front-end (its id).
+    Arrival(u64),
+    /// A chip finishes its current batch.
+    BatchDone {
+        /// Which chip.
+        chip: usize,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// BinaryHeap is a max-heap: invert so the earliest (time, seq) pops first.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the timestamp of the last pop).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time` (must be ≥ now and
+    /// finite).
+    pub fn push(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "non-finite event time");
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: SimTime(time),
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, advancing the clock to it. Ties on time
+    /// resolve in insertion order.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        let s = self.heap.pop()?;
+        self.now = s.time.0;
+        Some((s.time.0, s.event))
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::Arrival(3));
+        q.push(1.0, Event::Arrival(1));
+        q.push(2.0, Event::Arrival(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival(id) => id,
+                Event::BatchDone { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for id in 0..100 {
+            q.push(5.0, Event::Arrival(id));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival(id) => id,
+                Event::BatchDone { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(1.5, Event::BatchDone { chip: 0 });
+        q.push(1.5, Event::Arrival(0));
+        q.push(9.0, Event::Arrival(1));
+        let mut last = 0.0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::Arrival(0));
+        q.pop();
+        q.push(1.0, Event::Arrival(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! `zkphire-fleet`: a deterministic discrete-event simulator (DES) of a
+//! proof-serving fleet built from zkPHIRE chips.
+//!
+//! The paper models one chip proving one HyperPlonk instance; a
+//! production proving service is a *throughput* system — thousands of
+//! requests per second from millions of users, against a latency SLO.
+//! This crate answers the operator questions the single-chip model
+//! cannot: how many chips, what batching policy, what p99?
+//!
+//! # DES design
+//!
+//! The simulator is an event loop over a binary-heap future-event list
+//! ([`events::EventQueue`]). Two event kinds exist: a request arrival
+//! and a chip finishing its batch. Every tie on the f64 timestamp is
+//! broken by a monotone sequence number, and every random draw comes
+//! from an explicitly seeded [`rng::SplitMix64`] stream — no wall
+//! clock, no OS entropy — so a run is a pure function of
+//! `(config, seed)` and two runs with the same seed produce
+//! byte-identical traces ([`sim::SimReport::trace_hash`]).
+//!
+//! The pipeline per event:
+//!
+//! ```text
+//! arrivals ──► admission ──► batching policy ──► chip pool ──► records
+//! (Poisson,    (queue cap)   (FIFO | size-class  (N × zkPHIRE)  (SLO
+//!  ON/OFF,                    | EDF)                            metrics)
+//!  trace)
+//! ```
+//!
+//! * **Arrivals** ([`arrivals`]) are open-loop: Poisson, bursty ON/OFF
+//!   (interrupted Poisson), or a replayed trace. Each request draws a
+//!   class `(gate, log2 n)` from a [`mix::WorkloadMix`] built on the
+//!   paper's Tables VI/VII workloads.
+//! * **Admission** optionally bounds the queue; overflow is rejected
+//!   and counted (a real service sheds load rather than queue without
+//!   bound).
+//! * **Batching** ([`policy`]) groups same-class requests so a chip
+//!   pays its per-batch reconfiguration (§III-E program load) once per
+//!   batch instead of once per proof.
+//! * **Service times** come from the paper's own cycle model: a batch
+//!   of requests costs `overhead + Σ simulate_protocol(gate, mu)` via
+//!   [`zkphire_core::costdb::CostModel`], which memoizes the analytical
+//!   five-step HyperPlonk schedule per `(gate, mu)` class — the DES
+//!   issues millions of cost queries but evaluates the protocol model
+//!   once per distinct class.
+//! * **Metrics** ([`metrics`]) reduce completion records to SLO facts:
+//!   throughput, per-chip utilization, queue depth, and exact
+//!   nearest-rank p50/p95/p99 latency quantiles.
+//!
+//! # Example
+//!
+//! ```
+//! use zkphire_fleet::{simulate_poisson_fleet, PolicyKind};
+//!
+//! // 4 exemplar chips, 50 proofs/s of Tables VI/VII traffic, 2 s.
+//! let report = simulate_poisson_fleet(4, 50.0, 2_000.0, PolicyKind::SizeClass, 1);
+//! assert!(report.summary.completed > 0);
+//! assert!(report.summary.mean_utilization > 0.0);
+//! assert!(report.summary.p99_latency_ms >= report.summary.p50_latency_ms);
+//! ```
+
+pub mod arrivals;
+pub mod events;
+pub mod metrics;
+pub mod mix;
+pub mod policy;
+pub mod request;
+pub mod rng;
+pub mod sim;
+
+pub use arrivals::{ArrivalSource, OnOffSource, PoissonSource, TraceSource};
+pub use events::{Event, EventQueue};
+pub use metrics::{quantile, quantile_sorted, FleetSummary};
+pub use mix::WorkloadMix;
+pub use policy::{BatchPolicy, EdfPolicy, FifoPolicy, PolicyKind, SizeClassPolicy};
+pub use request::{Request, RequestClass, RequestRecord};
+pub use rng::SplitMix64;
+pub use sim::{
+    simulate, simulate_poisson_fleet, uniform_trace, FleetConfig, SimReport, TraceEntry,
+};

@@ -1,0 +1,173 @@
+//! SLO metrics: exact sorted-sample quantiles and the per-run summary.
+
+use crate::request::RequestRecord;
+
+/// Exact nearest-rank quantile of an ascending-sorted sample:
+/// the smallest element with cumulative frequency ≥ `q`.
+///
+/// # Panics
+///
+/// Panics on an empty sample or `q` outside `(0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "unsorted sample");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Convenience: sorts a copy and takes [`quantile_sorted`].
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Aggregate results of one fleet simulation.
+#[derive(Clone, Debug)]
+pub struct FleetSummary {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Timestamp of the last event (ms).
+    pub makespan_ms: f64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Mean sojourn latency (ms).
+    pub mean_latency_ms: f64,
+    /// Median latency (ms).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Worst-case latency (ms).
+    pub max_latency_ms: f64,
+    /// Mean of per-chip busy fractions.
+    pub mean_utilization: f64,
+    /// Busy fraction per chip.
+    pub per_chip_utilization: Vec<f64>,
+    /// Time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Peak queue depth.
+    pub max_queue_depth: usize,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Fraction of completed requests that missed their deadline.
+    pub deadline_miss_rate: f64,
+}
+
+/// Raw accumulators the simulator hands to [`summarize`].
+#[derive(Clone, Debug)]
+pub struct RunAccumulators {
+    /// Per-chip busy milliseconds.
+    pub busy_ms: Vec<f64>,
+    /// Integral of queue depth over time (depth × ms).
+    pub depth_time_integral: f64,
+    /// Peak queue depth.
+    pub max_queue_depth: usize,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Timestamp of the last event (ms).
+    pub makespan_ms: f64,
+}
+
+/// Reduces completion records and accumulators to a [`FleetSummary`].
+pub fn summarize(records: &[RequestRecord], acc: &RunAccumulators) -> FleetSummary {
+    let completed = records.len() as u64;
+    let makespan = acc.makespan_ms;
+    let mut latencies: Vec<f64> = records.iter().map(RequestRecord::latency_ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+    let (mean, p50, p95, p99, max) = if latencies.is_empty() {
+        (0.0, 0.0, 0.0, 0.0, 0.0)
+    } else {
+        (
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+            quantile_sorted(&latencies, 0.50),
+            quantile_sorted(&latencies, 0.95),
+            quantile_sorted(&latencies, 0.99),
+            *latencies.last().expect("non-empty"),
+        )
+    };
+    let per_chip_utilization: Vec<f64> = acc
+        .busy_ms
+        .iter()
+        .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
+        .collect();
+    let mean_utilization = if per_chip_utilization.is_empty() {
+        0.0
+    } else {
+        per_chip_utilization.iter().sum::<f64>() / per_chip_utilization.len() as f64
+    };
+    let misses = records.iter().filter(|r| !r.met_deadline()).count();
+    FleetSummary {
+        completed,
+        rejected: acc.rejected,
+        makespan_ms: makespan,
+        throughput_rps: if makespan > 0.0 {
+            completed as f64 / (makespan / 1000.0)
+        } else {
+            0.0
+        },
+        mean_latency_ms: mean,
+        p50_latency_ms: p50,
+        p95_latency_ms: p95,
+        p99_latency_ms: p99,
+        max_latency_ms: max,
+        mean_utilization,
+        per_chip_utilization,
+        mean_queue_depth: if makespan > 0.0 {
+            acc.depth_time_integral / makespan
+        } else {
+            0.0
+        },
+        max_queue_depth: acc.max_queue_depth,
+        mean_batch_size: if acc.batches > 0 {
+            completed as f64 / acc.batches as f64
+        } else {
+            0.0
+        },
+        deadline_miss_rate: if completed > 0 {
+            misses as f64 / completed as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile_sorted(&s, 0.50), 50.0);
+        assert_eq!(quantile_sorted(&s, 0.95), 95.0);
+        assert_eq!(quantile_sorted(&s, 0.99), 99.0);
+        assert_eq!(quantile_sorted(&s, 1.0), 100.0);
+        assert_eq!(quantile_sorted(&s, 0.001), 1.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.5], 0.5), 7.5);
+        assert_eq!(quantile_sorted(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn unsorted_helper_matches_sorted() {
+        let v = vec![9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(quantile(&v, 0.5), 5.0);
+        assert_eq!(quantile(&v, 1.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_quantile_rejected() {
+        quantile_sorted(&[1.0], 0.0);
+    }
+}

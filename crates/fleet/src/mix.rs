@@ -1,0 +1,153 @@
+//! Workload mixes: which request classes a traffic source draws and how
+//! often.
+//!
+//! The default mixes come from the paper's evaluation workloads (Tables
+//! VI/VII via [`zkphire_core::workloads`]): each named workload
+//! contributes its published `log2 n` as one class. Weights default to
+//! inverse proof size — a proving service fields many small proofs
+//! (wallet transfers, single hashes) for every monster rollup — but any
+//! weighting can be supplied.
+
+use crate::request::RequestClass;
+use crate::rng::SplitMix64;
+use zkphire_core::protocol::Gate;
+use zkphire_core::workloads::all_workloads;
+
+/// A weighted set of request classes.
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    classes: Vec<RequestClass>,
+    weights: Vec<f64>,
+}
+
+impl WorkloadMix {
+    /// A mix from explicit `(class, weight)` pairs.
+    pub fn new(entries: Vec<(RequestClass, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empty workload mix");
+        assert!(
+            entries.iter().all(|(_, w)| *w > 0.0),
+            "non-positive mix weight"
+        );
+        let (classes, weights) = entries.into_iter().unzip();
+        Self { classes, weights }
+    }
+
+    /// A single-class mix (useful for microbenchmarks and tests).
+    pub fn single(class: RequestClass) -> Self {
+        Self::new(vec![(class, 1.0)])
+    }
+
+    /// The Table VII Jellyfish suite, weighted `1 / 2^(mu - mu_min)` so
+    /// small proofs dominate the request stream. `max_mu` drops the
+    /// largest instances (a `2^27` zkEVM proof is a batch job, not an
+    /// interactive request).
+    pub fn table_vii_jellyfish(max_mu: usize) -> Self {
+        let entries: Vec<(RequestClass, f64)> = all_workloads()
+            .iter()
+            .filter_map(|w| w.jellyfish_log2)
+            .filter(|&mu| mu <= max_mu)
+            .map(|mu| (RequestClass::new(Gate::Jellyfish, mu), 1.0))
+            .collect();
+        Self::inverse_size_weighted(entries)
+    }
+
+    /// The Table VI Vanilla suite under the same inverse-size weighting.
+    pub fn table_vi_vanilla(max_mu: usize) -> Self {
+        let entries: Vec<(RequestClass, f64)> = all_workloads()
+            .iter()
+            .filter_map(|w| w.vanilla_log2)
+            .filter(|&mu| mu <= max_mu)
+            .map(|mu| (RequestClass::new(Gate::Vanilla, mu), 1.0))
+            .collect();
+        Self::inverse_size_weighted(entries)
+    }
+
+    /// Both tables combined — the service accepts either arithmetization.
+    pub fn tables_vi_vii(max_mu: usize) -> Self {
+        let mut entries: Vec<(RequestClass, f64)> = Vec::new();
+        for w in all_workloads() {
+            if let Some(mu) = w.vanilla_log2 {
+                if mu <= max_mu {
+                    entries.push((RequestClass::new(Gate::Vanilla, mu), 1.0));
+                }
+            }
+            if let Some(mu) = w.jellyfish_log2 {
+                if mu <= max_mu {
+                    entries.push((RequestClass::new(Gate::Jellyfish, mu), 1.0));
+                }
+            }
+        }
+        Self::inverse_size_weighted(entries)
+    }
+
+    fn inverse_size_weighted(mut entries: Vec<(RequestClass, f64)>) -> Self {
+        assert!(!entries.is_empty(), "no workloads under the mu cap");
+        entries.sort_by_key(|(c, _)| *c);
+        entries.dedup_by_key(|(c, _)| *c);
+        let mu_min = entries.iter().map(|(c, _)| c.mu).min().expect("non-empty");
+        for (class, weight) in &mut entries {
+            *weight = 1.0 / (1u64 << (class.mu - mu_min).min(60)) as f64;
+        }
+        Self::new(entries)
+    }
+
+    /// The distinct classes in this mix.
+    pub fn classes(&self) -> &[RequestClass] {
+        &self.classes
+    }
+
+    /// Draws one class.
+    pub fn draw(&self, rng: &mut SplitMix64) -> RequestClass {
+        self.classes[rng.next_weighted(&self.weights)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mixes_respect_mu_cap() {
+        let mix = WorkloadMix::table_vii_jellyfish(21);
+        assert!(!mix.classes().is_empty());
+        assert!(mix.classes().iter().all(|c| c.mu <= 21));
+        assert!(mix.classes().iter().all(|c| c.gate == Gate::Jellyfish));
+    }
+
+    #[test]
+    fn combined_mix_has_both_gates() {
+        let mix = WorkloadMix::tables_vi_vii(22);
+        assert!(mix.classes().iter().any(|c| c.gate == Gate::Vanilla));
+        assert!(mix.classes().iter().any(|c| c.gate == Gate::Jellyfish));
+    }
+
+    #[test]
+    fn small_classes_drawn_more_often() {
+        let mix = WorkloadMix::table_vii_jellyfish(20);
+        let mu_min = mix.classes().iter().map(|c| c.mu).min().unwrap();
+        let mu_max = mix.classes().iter().map(|c| c.mu).max().unwrap();
+        assert!(mu_min < mu_max);
+        let mut rng = SplitMix64::new(5);
+        let mut small = 0usize;
+        let mut large = 0usize;
+        for _ in 0..4000 {
+            let c = mix.draw(&mut rng);
+            if c.mu == mu_min {
+                small += 1;
+            } else if c.mu == mu_max {
+                large += 1;
+            }
+        }
+        assert!(small > large, "small {small} large {large}");
+    }
+
+    #[test]
+    fn draw_is_deterministic() {
+        let mix = WorkloadMix::tables_vi_vii(24);
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..100 {
+            assert_eq!(mix.draw(&mut a), mix.draw(&mut b));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Admission and batching policies: how queued requests become chip
+//! batches.
+//!
+//! A batch is a run of same-class requests served back-to-back on one
+//! chip; the chip pays one reconfiguration overhead per batch (program
+//! load, FSM setup — §III-E program swap), so batching same-class work
+//! trades queueing delay for amortized overhead. Three policies:
+//!
+//! * [`FifoPolicy`] — strict arrival order; a batch is the head request
+//!   plus immediately following requests of the same class, so service
+//!   order equals arrival order.
+//! * [`SizeClassPolicy`] — one FIFO lane per `(gate, log2 n)` class;
+//!   dispatch picks the lane with the oldest head (no starvation) and
+//!   drains up to `max_batch` from it.
+//! * [`EdfPolicy`] — earliest-deadline-first: picks the most urgent
+//!   request, then fills the batch with same-class requests in deadline
+//!   order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::request::{Request, RequestClass};
+
+/// Which policy a simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Strict FIFO with head-run coalescing.
+    Fifo,
+    /// Per-size-class lanes, oldest-head-first.
+    SizeClass,
+    /// Earliest deadline first.
+    EarliestDeadline,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn BatchPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(FifoPolicy::default()),
+            PolicyKind::SizeClass => Box::new(SizeClassPolicy::default()),
+            PolicyKind::EarliestDeadline => Box::new(EdfPolicy::default()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::SizeClass => "size-class",
+            PolicyKind::EarliestDeadline => "edf",
+        }
+    }
+}
+
+/// A queueing discipline over admitted requests.
+pub trait BatchPolicy {
+    /// Admits one request to the queue.
+    fn push(&mut self, req: Request);
+
+    /// Removes and returns the next batch (same-class, at most
+    /// `max_batch` requests), or `None` when the queue is empty.
+    fn pop_batch(&mut self, max_batch: usize) -> Option<Vec<Request>>;
+
+    /// Requests currently queued.
+    fn depth(&self) -> usize;
+}
+
+/// See [`PolicyKind::Fifo`].
+#[derive(Clone, Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<Request>,
+}
+
+impl BatchPolicy for FifoPolicy {
+    fn push(&mut self, req: Request) {
+        self.queue.push_back(req);
+    }
+
+    fn pop_batch(&mut self, max_batch: usize) -> Option<Vec<Request>> {
+        let head = self.queue.pop_front()?;
+        let class = head.class;
+        let mut batch = vec![head];
+        while batch.len() < max_batch {
+            match self.queue.front() {
+                Some(next) if next.class == class => {
+                    batch.push(self.queue.pop_front().expect("front checked"));
+                }
+                _ => break,
+            }
+        }
+        Some(batch)
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// See [`PolicyKind::SizeClass`].
+#[derive(Clone, Debug, Default)]
+pub struct SizeClassPolicy {
+    lanes: BTreeMap<RequestClass, VecDeque<Request>>,
+    depth: usize,
+}
+
+impl BatchPolicy for SizeClassPolicy {
+    fn push(&mut self, req: Request) {
+        self.lanes.entry(req.class).or_default().push_back(req);
+        self.depth += 1;
+    }
+
+    fn pop_batch(&mut self, max_batch: usize) -> Option<Vec<Request>> {
+        // The lane whose head has waited longest (ties: lowest id, which
+        // is unique, so selection is total).
+        let best_class = self
+            .lanes
+            .iter()
+            .filter_map(|(class, lane)| lane.front().map(|h| (h.arrival_ms, h.id, *class)))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("NaN arrival")
+                    .then(a.1.cmp(&b.1))
+            })
+            .map(|(_, _, class)| class)?;
+        let lane = self.lanes.get_mut(&best_class).expect("lane exists");
+        let take = lane.len().min(max_batch.max(1));
+        let batch: Vec<Request> = lane.drain(..take).collect();
+        if lane.is_empty() {
+            self.lanes.remove(&best_class);
+        }
+        self.depth -= batch.len();
+        Some(batch)
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// See [`PolicyKind::EarliestDeadline`].
+#[derive(Clone, Debug, Default)]
+pub struct EdfPolicy {
+    queue: Vec<Request>,
+}
+
+impl EdfPolicy {
+    /// Index of the most urgent request: min `(deadline, id)`.
+    fn most_urgent(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.deadline_ms
+                    .partial_cmp(&b.deadline_ms)
+                    .expect("NaN deadline")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl BatchPolicy for EdfPolicy {
+    fn push(&mut self, req: Request) {
+        self.queue.push(req);
+    }
+
+    fn pop_batch(&mut self, max_batch: usize) -> Option<Vec<Request>> {
+        let urgent = self.most_urgent()?;
+        let head = self.queue.swap_remove(urgent);
+        let class = head.class;
+        // Same-class companions in deadline order.
+        let mut companions: Vec<usize> = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.class == class)
+            .map(|(i, _)| i)
+            .collect();
+        companions.sort_by(|&a, &b| {
+            self.queue[a]
+                .deadline_ms
+                .partial_cmp(&self.queue[b].deadline_ms)
+                .expect("NaN deadline")
+                .then(self.queue[a].id.cmp(&self.queue[b].id))
+        });
+        companions.truncate(max_batch.max(1) - 1);
+        // Remove back-to-front so indices stay valid.
+        companions.sort_unstable_by(|a, b| b.cmp(a));
+        let mut batch = vec![head];
+        for i in companions {
+            batch.push(self.queue.swap_remove(i));
+        }
+        // Keep the batch itself in deadline order (head first already).
+        batch[1..].sort_by(|a, b| {
+            a.deadline_ms
+                .partial_cmp(&b.deadline_ms)
+                .expect("NaN deadline")
+                .then(a.id.cmp(&b.id))
+        });
+        Some(batch)
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkphire_core::protocol::Gate;
+
+    fn req(id: u64, gate: Gate, mu: usize, arrival: f64, deadline: f64) -> Request {
+        Request {
+            id,
+            class: RequestClass::new(gate, mu),
+            arrival_ms: arrival,
+            deadline_ms: deadline,
+        }
+    }
+
+    #[test]
+    fn fifo_coalesces_head_run_only() {
+        let mut p = FifoPolicy::default();
+        p.push(req(0, Gate::Jellyfish, 18, 0.0, 10.0));
+        p.push(req(1, Gate::Jellyfish, 18, 1.0, 11.0));
+        p.push(req(2, Gate::Vanilla, 20, 2.0, 12.0));
+        p.push(req(3, Gate::Jellyfish, 18, 3.0, 13.0));
+        let b1 = p.pop_batch(8).unwrap();
+        assert_eq!(b1.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        let b2 = p.pop_batch(8).unwrap();
+        assert_eq!(b2.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        let b3 = p.pop_batch(8).unwrap();
+        assert_eq!(b3.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3]);
+        assert!(p.pop_batch(8).is_none());
+    }
+
+    #[test]
+    fn size_class_batches_across_interleaving() {
+        let mut p = SizeClassPolicy::default();
+        p.push(req(0, Gate::Jellyfish, 18, 0.0, 10.0));
+        p.push(req(1, Gate::Vanilla, 20, 0.5, 10.0));
+        p.push(req(2, Gate::Jellyfish, 18, 1.0, 10.0));
+        p.push(req(3, Gate::Jellyfish, 18, 1.5, 10.0));
+        assert_eq!(p.depth(), 4);
+        // Oldest head is request 0's lane; the whole lane drains FIFO.
+        let b1 = p.pop_batch(8).unwrap();
+        assert_eq!(b1.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2, 3]);
+        let b2 = p.pop_batch(8).unwrap();
+        assert_eq!(b2.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn size_class_respects_max_batch() {
+        let mut p = SizeClassPolicy::default();
+        for i in 0..5 {
+            p.push(req(i, Gate::Jellyfish, 18, i as f64, 100.0));
+        }
+        let b = p.pop_batch(2).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn edf_serves_most_urgent_first() {
+        let mut p = EdfPolicy::default();
+        p.push(req(0, Gate::Jellyfish, 18, 0.0, 50.0));
+        p.push(req(1, Gate::Vanilla, 22, 1.0, 5.0));
+        p.push(req(2, Gate::Jellyfish, 18, 2.0, 40.0));
+        let b1 = p.pop_batch(8).unwrap();
+        assert_eq!(b1[0].id, 1);
+        assert_eq!(b1.len(), 1);
+        let b2 = p.pop_batch(8).unwrap();
+        assert_eq!(b2.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 0]);
+    }
+}

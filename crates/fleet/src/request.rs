@@ -1,0 +1,77 @@
+//! Proof requests and their size classes.
+
+use zkphire_core::protocol::Gate;
+
+/// The service class of a request: which arithmetization and how many
+/// gates (`2^mu`). Two requests of the same class have identical
+/// per-proof service time and can share a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestClass {
+    /// Gate system (Vanilla or Jellyfish).
+    pub gate: Gate,
+    /// log2 of the circuit's gate count.
+    pub mu: usize,
+}
+
+impl RequestClass {
+    /// Constructor shorthand.
+    pub fn new(gate: Gate, mu: usize) -> Self {
+        Self { gate, mu }
+    }
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = match self.gate {
+            Gate::Vanilla => "V",
+            Gate::Jellyfish => "J",
+        };
+        write!(f, "{g}^{}", self.mu)
+    }
+}
+
+/// One in-flight proof request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Unique, monotonically assigned id (also the arrival order).
+    pub id: u64,
+    /// Service class.
+    pub class: RequestClass,
+    /// Arrival timestamp (ms).
+    pub arrival_ms: f64,
+    /// Absolute latency deadline (ms) — used by deadline-aware policies.
+    pub deadline_ms: f64,
+}
+
+/// Completion record for one served request.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRecord {
+    /// The request id.
+    pub id: u64,
+    /// Service class.
+    pub class: RequestClass,
+    /// Arrival timestamp (ms).
+    pub arrival_ms: f64,
+    /// Absolute deadline it was admitted with (ms).
+    pub deadline_ms: f64,
+    /// When its batch started on a chip (ms).
+    pub start_ms: f64,
+    /// When its batch finished (ms).
+    pub finish_ms: f64,
+    /// Serving chip index.
+    pub chip: usize,
+    /// Number of requests in the batch it rode in.
+    pub batch_size: usize,
+}
+
+impl RequestRecord {
+    /// Sojourn time: queueing plus service (ms).
+    pub fn latency_ms(&self) -> f64 {
+        self.finish_ms - self.arrival_ms
+    }
+
+    /// Whether the request finished by its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.finish_ms <= self.deadline_ms
+    }
+}

@@ -1,0 +1,471 @@
+//! The fleet simulator: admission → queue → batch → chip pool, driven by
+//! the event engine.
+
+use crate::arrivals::ArrivalSource;
+use crate::events::{Event, EventQueue};
+use crate::metrics::{summarize, FleetSummary, RunAccumulators};
+use crate::policy::{BatchPolicy, PolicyKind};
+use crate::request::{Request, RequestClass, RequestRecord};
+use zkphire_core::costdb::CostModel;
+
+/// Deployment and policy knobs for one simulation.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of zkPHIRE chips in the pool.
+    pub chips: usize,
+    /// Batching policy.
+    pub policy: PolicyKind,
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Admission cap on queued requests (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// Per-batch reconfiguration overhead (ms): program load + FSM
+    /// setup when a chip switches to a batch (§III-E program swap).
+    pub batch_overhead_ms: f64,
+    /// Deadline budget as a multiple of the class's isolated proof
+    /// latency (EDF and the miss-rate metric).
+    pub deadline_factor: f64,
+    /// Additive deadline slack (ms).
+    pub deadline_slack_ms: f64,
+}
+
+impl FleetConfig {
+    /// A sensible default deployment: `chips` chips, size-class
+    /// batching of up to 8, 1 ms reconfiguration, deadlines at
+    /// 5× isolated latency + 50 ms.
+    pub fn new(chips: usize) -> Self {
+        Self {
+            chips,
+            policy: PolicyKind::SizeClass,
+            max_batch: 8,
+            queue_capacity: None,
+            batch_overhead_ms: 1.0,
+            deadline_factor: 5.0,
+            deadline_slack_ms: 50.0,
+        }
+    }
+
+    /// Sets the policy (builder style).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the batch cap (builder style).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the admission cap (builder style).
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+}
+
+/// One entry of the reproducible event trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEntry {
+    /// A request was admitted to the queue.
+    Admitted {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Request id.
+        id: u64,
+    },
+    /// A request was refused at admission.
+    Rejected {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Request id.
+        id: u64,
+    },
+    /// A batch started on a chip.
+    Dispatched {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+        /// First request id in the batch.
+        first_id: u64,
+        /// Batch size.
+        size: usize,
+    },
+    /// A batch finished on a chip.
+    Completed {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+        /// Batch size.
+        size: usize,
+    },
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Aggregate metrics.
+    pub summary: FleetSummary,
+    /// Per-request completion records, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// The full decision trace (admissions, dispatches, completions).
+    pub trace: Vec<TraceEntry>,
+    /// FNV-1a hash of the trace — two runs are identical iff equal.
+    pub trace_hash: u64,
+}
+
+struct Chip {
+    busy: bool,
+    busy_ms: f64,
+    batch: Vec<Request>,
+    batch_start_ms: f64,
+}
+
+/// Runs the discrete-event simulation to completion: all arrivals from
+/// `source` flow through admission and batching onto `cfg.chips`
+/// simulated chips whose service times come from `cost`.
+pub fn simulate<S: ArrivalSource>(
+    cfg: &FleetConfig,
+    source: &mut S,
+    cost: &mut CostModel,
+) -> SimReport {
+    assert!(cfg.chips > 0, "fleet of zero chips");
+    assert!(cfg.batch_overhead_ms >= 0.0);
+    let mut queue = EventQueue::new();
+    let mut policy = cfg.policy.build();
+    let mut chips: Vec<Chip> = (0..cfg.chips)
+        .map(|_| Chip {
+            busy: false,
+            busy_ms: 0.0,
+            batch: Vec::new(),
+            batch_start_ms: 0.0,
+        })
+        .collect();
+    let mut records: Vec<RequestRecord> = Vec::new();
+    let mut trace: Vec<TraceEntry> = Vec::new();
+    let mut acc = RunAccumulators {
+        busy_ms: vec![0.0; cfg.chips],
+        depth_time_integral: 0.0,
+        max_queue_depth: 0,
+        batches: 0,
+        rejected: 0,
+        makespan_ms: 0.0,
+    };
+
+    // One arrival in flight at a time; the request body is parked here
+    // until its event pops.
+    let mut next_id: u64 = 0;
+    let prime = |source: &mut S, queue: &mut EventQueue, next_id: &mut u64| -> Option<Request> {
+        source.next_arrival().map(|(t, class)| {
+            let id = *next_id;
+            *next_id += 1;
+            queue.push(t, Event::Arrival(id));
+            Request {
+                id,
+                class,
+                arrival_ms: t,
+                // Deadline filled at admission (needs the cost model).
+                deadline_ms: f64::INFINITY,
+            }
+        })
+    };
+    let mut pending: Option<Request> = prime(source, &mut queue, &mut next_id);
+
+    let mut last_time = 0.0;
+    while let Some((now, event)) = queue.pop() {
+        acc.depth_time_integral += policy.depth() as f64 * (now - last_time);
+        last_time = now;
+        acc.makespan_ms = now;
+        match event {
+            Event::Arrival(id) => {
+                let mut req = pending.take().expect("arrival without pending request");
+                debug_assert_eq!(req.id, id);
+                // Pull the next arrival before admission so the event
+                // stream ordering never depends on queue state.
+                pending = prime(source, &mut queue, &mut next_id);
+                let full = cfg.queue_capacity.is_some_and(|cap| policy.depth() >= cap);
+                if full {
+                    acc.rejected += 1;
+                    trace.push(TraceEntry::Rejected {
+                        time_ms: now,
+                        id: req.id,
+                    });
+                } else {
+                    req.deadline_ms = now
+                        + cfg.deadline_slack_ms
+                        + cfg.deadline_factor * cost.proof_ms(req.class.gate, req.class.mu);
+                    trace.push(TraceEntry::Admitted {
+                        time_ms: now,
+                        id: req.id,
+                    });
+                    policy.push(req);
+                    acc.max_queue_depth = acc.max_queue_depth.max(policy.depth());
+                }
+            }
+            Event::BatchDone { chip } => {
+                let c = &mut chips[chip];
+                let size = c.batch.len();
+                for r in c.batch.drain(..) {
+                    records.push(RequestRecord {
+                        id: r.id,
+                        class: r.class,
+                        arrival_ms: r.arrival_ms,
+                        deadline_ms: r.deadline_ms,
+                        start_ms: c.batch_start_ms,
+                        finish_ms: now,
+                        chip,
+                        batch_size: size,
+                    });
+                }
+                c.busy = false;
+                trace.push(TraceEntry::Completed {
+                    time_ms: now,
+                    chip,
+                    size,
+                });
+            }
+        }
+        dispatch(
+            cfg,
+            &mut queue,
+            policy.as_mut(),
+            &mut chips,
+            cost,
+            &mut acc,
+            &mut trace,
+        );
+    }
+
+    for (i, c) in chips.iter().enumerate() {
+        assert!(!c.busy, "chip {i} still busy at drain");
+        acc.busy_ms[i] = c.busy_ms;
+    }
+    let trace_hash = hash_trace(&trace);
+    SimReport {
+        summary: summarize(&records, &acc),
+        records,
+        trace,
+        trace_hash,
+    }
+}
+
+fn dispatch(
+    cfg: &FleetConfig,
+    queue: &mut EventQueue,
+    policy: &mut dyn BatchPolicy,
+    chips: &mut [Chip],
+    cost: &mut CostModel,
+    acc: &mut RunAccumulators,
+    trace: &mut Vec<TraceEntry>,
+) {
+    let now = queue.now();
+    loop {
+        if policy.depth() == 0 {
+            return;
+        }
+        let Some(chip_idx) = chips.iter().position(|c| !c.busy) else {
+            return;
+        };
+        let batch = policy
+            .pop_batch(cfg.max_batch)
+            .expect("depth > 0 implies a batch");
+        let service_ms: f64 = cfg.batch_overhead_ms
+            + batch
+                .iter()
+                .map(|r| cost.proof_ms(r.class.gate, r.class.mu))
+                .sum::<f64>();
+        let c = &mut chips[chip_idx];
+        c.busy = true;
+        c.busy_ms += service_ms;
+        c.batch_start_ms = now;
+        trace.push(TraceEntry::Dispatched {
+            time_ms: now,
+            chip: chip_idx,
+            first_id: batch[0].id,
+            size: batch.len(),
+        });
+        c.batch = batch;
+        acc.batches += 1;
+        queue.push(now + service_ms, Event::BatchDone { chip: chip_idx });
+    }
+}
+
+/// FNV-1a over the trace's raw fields (f64 times by bit pattern).
+fn hash_trace(trace: &[TraceEntry]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in trace {
+        match *e {
+            TraceEntry::Admitted { time_ms, id } => {
+                mix(1);
+                mix(time_ms.to_bits());
+                mix(id);
+            }
+            TraceEntry::Rejected { time_ms, id } => {
+                mix(2);
+                mix(time_ms.to_bits());
+                mix(id);
+            }
+            TraceEntry::Dispatched {
+                time_ms,
+                chip,
+                first_id,
+                size,
+            } => {
+                mix(3);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
+                mix(first_id);
+                mix(size as u64);
+            }
+            TraceEntry::Completed {
+                time_ms,
+                chip,
+                size,
+            } => {
+                mix(4);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
+                mix(size as u64);
+            }
+        }
+    }
+    h
+}
+
+/// Convenience wrapper: Poisson traffic from the Tables VI/VII mix on
+/// `chips` exemplar chips — the "one obvious call" for experiments.
+pub fn simulate_poisson_fleet(
+    chips: usize,
+    rate_rps: f64,
+    horizon_ms: f64,
+    policy: PolicyKind,
+    seed: u64,
+) -> SimReport {
+    use crate::arrivals::PoissonSource;
+    use crate::mix::WorkloadMix;
+    let mut cost = CostModel::exemplar();
+    let mix = WorkloadMix::table_vii_jellyfish(21);
+    let mut source = PoissonSource::new(rate_rps, horizon_ms, mix, seed);
+    let cfg = FleetConfig::new(chips).with_policy(policy);
+    simulate(&cfg, &mut source, &mut cost)
+}
+
+/// A single-class trace helper used by tests and benches.
+pub fn uniform_trace(
+    class: RequestClass,
+    count: usize,
+    gap_ms: f64,
+) -> crate::arrivals::TraceSource {
+    crate::arrivals::TraceSource::new((0..count).map(|i| (i as f64 * gap_ms, class)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::PoissonSource;
+    use crate::mix::WorkloadMix;
+    use zkphire_core::protocol::Gate;
+
+    fn small_run(policy: PolicyKind, seed: u64) -> SimReport {
+        let mut cost = CostModel::exemplar();
+        let mix = WorkloadMix::table_vii_jellyfish(19);
+        let mut source = PoissonSource::new(40.0, 2_000.0, mix, seed);
+        let cfg = FleetConfig::new(3).with_policy(policy);
+        simulate(&cfg, &mut source, &mut cost)
+    }
+
+    #[test]
+    fn completes_all_admitted_requests() {
+        for policy in [
+            PolicyKind::Fifo,
+            PolicyKind::SizeClass,
+            PolicyKind::EarliestDeadline,
+        ] {
+            let r = small_run(policy, 1);
+            assert!(r.summary.completed > 0, "{policy:?}");
+            assert_eq!(r.summary.rejected, 0);
+            assert_eq!(r.records.len() as u64, r.summary.completed);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = small_run(PolicyKind::SizeClass, 7);
+        let b = small_run(PolicyKind::SizeClass, 7);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        let c = small_run(PolicyKind::SizeClass, 8);
+        assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn capacity_produces_rejections() {
+        let mut cost = CostModel::exemplar();
+        let mix = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 21));
+        let mut source = PoissonSource::new(500.0, 1_000.0, mix, 3);
+        let cfg = FleetConfig::new(1)
+            .with_policy(PolicyKind::Fifo)
+            .with_max_batch(1)
+            .with_queue_capacity(4);
+        let r = simulate(&cfg, &mut source, &mut cost);
+        assert!(r.summary.rejected > 0);
+        assert!(r.summary.max_queue_depth <= 4);
+    }
+
+    #[test]
+    fn utilization_grows_with_load() {
+        let mut cost = CostModel::exemplar();
+        let mix = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18));
+        let cfg = FleetConfig::new(2);
+        let mut light_src = PoissonSource::new(10.0, 5_000.0, mix.clone(), 5);
+        let light = simulate(&cfg, &mut light_src, &mut cost);
+        let mut heavy_src = PoissonSource::new(400.0, 5_000.0, mix, 5);
+        let heavy = simulate(&cfg, &mut heavy_src, &mut cost);
+        assert!(light.summary.mean_utilization > 0.0);
+        assert!(heavy.summary.mean_utilization > light.summary.mean_utilization);
+        assert!(heavy.summary.mean_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn batching_amortizes_overhead_under_load() {
+        // One class, heavy load: size-class batching (max 16) must beat
+        // strict FIFO-of-one on p99 because it pays the 1 ms
+        // reconfiguration once per 16 proofs.
+        let class = RequestClass::new(Gate::Jellyfish, 15);
+        let mut cost = CostModel::exemplar();
+        let base = cost.proof_ms(Gate::Jellyfish, 15);
+        // Arrivals at ~1.5× a single chip's no-overhead service rate.
+        let gap = base / 1.5;
+        let count = 400;
+        let batched_cfg = FleetConfig::new(1).with_max_batch(16);
+        let mut src = uniform_trace(class, count, gap);
+        let batched = simulate(&batched_cfg, &mut src, &mut cost);
+        let serial_cfg = FleetConfig::new(1)
+            .with_policy(PolicyKind::Fifo)
+            .with_max_batch(1);
+        let mut src = uniform_trace(class, count, gap);
+        let serial = simulate(&serial_cfg, &mut src, &mut cost);
+        assert!(batched.summary.mean_batch_size > 1.5);
+        assert!(
+            batched.summary.p99_latency_ms < serial.summary.p99_latency_ms,
+            "batched {} vs serial {}",
+            batched.summary.p99_latency_ms,
+            serial.summary.p99_latency_ms
+        );
+    }
+
+    #[test]
+    fn more_chips_cut_p99_under_load() {
+        let two = simulate_poisson_fleet(2, 120.0, 4_000.0, PolicyKind::SizeClass, 11);
+        let eight = simulate_poisson_fleet(8, 120.0, 4_000.0, PolicyKind::SizeClass, 11);
+        assert!(eight.summary.p99_latency_ms <= two.summary.p99_latency_ms);
+    }
+}

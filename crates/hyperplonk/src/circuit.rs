@@ -308,7 +308,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let (_, witness) = Circuit::random(GateSystem::Jellyfish, 9, 0.1, &mut rng);
         for col in &witness.columns {
-            assert!(col.zero_fraction() > 0.7, "zero fraction {}", col.zero_fraction());
+            assert!(
+                col.zero_fraction() > 0.7,
+                "zero fraction {}",
+                col.zero_fraction()
+            );
         }
     }
 

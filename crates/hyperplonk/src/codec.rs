@@ -158,7 +158,11 @@ impl HyperPlonkProof {
         put_sumcheck(&mut out, &self.gate_zerocheck);
         put_points(
             &mut out,
-            &self.perm_commitments.iter().map(|c| c.0).collect::<Vec<_>>(),
+            &self
+                .perm_commitments
+                .iter()
+                .map(|c| c.0)
+                .collect::<Vec<_>>(),
         );
         put_sumcheck(&mut out, &self.perm_zerocheck);
         put_frs(&mut out, &self.extra_evals);

@@ -72,13 +72,7 @@ pub fn root_index(n: usize) -> usize {
 /// The boolean point (LSB-first) selecting index `i` of a `2^µ` table.
 pub fn index_point(i: usize, num_vars: usize) -> Vec<Fr> {
     (0..num_vars)
-        .map(|b| {
-            if (i >> b) & 1 == 1 {
-                Fr::ONE
-            } else {
-                Fr::ZERO
-            }
-        })
+        .map(|b| if (i >> b) & 1 == 1 { Fr::ONE } else { Fr::ZERO })
         .collect()
 }
 
@@ -115,12 +109,7 @@ pub fn build_permutation_data(
     // ϕ = Π N / Π D elementwise; denominators inverted in one batch
     // (the Permutation Quotient Generator's ModInv pipeline).
     let mut den_products: Vec<Fr> = (0..n)
-        .map(|row| {
-            denominators
-                .iter()
-                .map(|d| d.evals()[row])
-                .product::<Fr>()
-        })
+        .map(|row| denominators.iter().map(|d| d.evals()[row]).product::<Fr>())
         .collect();
     batch_inverse(&mut den_products);
     let phi = Mle::from_fn(num_vars, |row| {
@@ -264,11 +253,16 @@ mod tests {
         let alpha = Fr::from_u64(12345);
         let poly = gate.poly.specialize(&[alpha]);
         let num_vars = circuit.num_vars;
-        let mut mles = vec![data.pi.clone(), data.p1.clone(), data.p2.clone(), data.phi.clone()];
+        let mut mles = vec![
+            data.pi.clone(),
+            data.p1.clone(),
+            data.p2.clone(),
+            data.phi.clone(),
+        ];
         mles.extend(data.denominators.iter().cloned());
         mles.extend(data.numerators.iter().cloned());
         mles.push(Mle::constant(Fr::ONE, num_vars)); // f_r := 1
-        // π - p1 p2 == 0 and ϕ D - N == 0 pointwise => composite zero.
+                                                     // π - p1 p2 == 0 and ϕ D - N == 0 pointwise => composite zero.
         for i in 0..(1 << num_vars) {
             assert!(poly.evaluate_at_index(&mles, i).is_zero(), "row {i}");
         }

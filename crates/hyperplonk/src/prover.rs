@@ -79,11 +79,8 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     );
 
     // Step 1 — Witness Commitments.
-    let witness_commitments: Vec<Commitment> = witness
-        .columns
-        .iter()
-        .map(|c| pk.pcs.commit(c))
-        .collect();
+    let witness_commitments: Vec<Commitment> =
+        witness.columns.iter().map(|c| pk.pcs.commit(c)).collect();
     for c in &witness_commitments {
         transcript.append_bytes(b"hyperplonk/witness", &c.to_bytes());
     }
@@ -93,8 +90,7 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     let mut gate_mles: Vec<Mle> = pk.circuit.selectors.clone();
     gate_mles.extend(witness.columns.iter().cloned());
     gate_mles.push(Mle::zero(mu)); // f_r placeholder, filled by ZeroCheck
-    let (gate_out, _) =
-        prove_zero_check(&gate.poly, system.gate_eq_slot(), gate_mles, transcript);
+    let (gate_out, _) = prove_zero_check(&gate.poly, system.gate_eq_slot(), gate_mles, transcript);
     let x_zc = gate_out.challenges.clone();
 
     // Step 3 — Wire Identity.
@@ -121,8 +117,7 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     perm_mles.extend(perm.denominators.iter().cloned());
     perm_mles.extend(perm.numerators.iter().cloned());
     perm_mles.push(Mle::zero(mu)); // f_r placeholder
-    let (perm_out, _) =
-        prove_zero_check(&perm_poly, system.perm_eq_slot(), perm_mles, transcript);
+    let (perm_out, _) = prove_zero_check(&perm_poly, system.perm_eq_slot(), perm_mles, transcript);
     let x_pc = perm_out.challenges.clone();
 
     // Step 4 — Batch Evaluations. Claims already bound inside the two

@@ -165,11 +165,7 @@ pub fn verify(
 
     // Step 5 — OpenCheck.
     let etas = transcript.challenge_frs(b"hyperplonk/opencheck/eta", layout.len());
-    let expected_claim: Fr = etas
-        .iter()
-        .zip(&claim_values)
-        .map(|(e, y)| *e * *y)
-        .sum();
+    let expected_claim: Fr = etas.iter().zip(&claim_values).map(|(e, y)| *e * *y).sum();
     let oc_poly = opencheck_composite(system, &etas);
     let oc_verified = sumcheck_verify(&oc_poly, mu, &proof.opencheck, transcript)
         .map_err(HyperPlonkError::OpenCheck)?;

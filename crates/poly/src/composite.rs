@@ -133,7 +133,11 @@ impl CompositePoly {
     /// (the quantity compared against the Extension Engine count by the
     /// scheduler, and capped at 8 by the ICICLE GPU library — §VI-A4).
     pub fn max_unique_factors_per_term(&self) -> usize {
-        self.terms.iter().map(Term::unique_factors).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(Term::unique_factors)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Ids of all distinct MLEs referenced anywhere in the composite.
@@ -332,8 +336,8 @@ mod tests {
         let f = simple_composite();
         let mut expected = Fr::ZERO;
         for i in 0..8 {
-            expected += Fr::from_u64(3) * mles[0].evals()[i] * mles[1].evals()[i]
-                - mles[2].evals()[i];
+            expected +=
+                Fr::from_u64(3) * mles[0].evals()[i] * mles[1].evals()[i] - mles[2].evals()[i];
         }
         assert_eq!(f.sum_over_hypercube(&mles), expected);
     }
@@ -369,7 +373,10 @@ mod tests {
         let f = simple_composite();
         // On a hypercube vertex, point evaluation equals index evaluation.
         let point = [Fr::ONE, Fr::ZERO];
-        assert_eq!(f.evaluate_at_point(&mles, &point), f.evaluate_at_index(&mles, 1));
+        assert_eq!(
+            f.evaluate_at_point(&mles, &point),
+            f.evaluate_at_index(&mles, 1)
+        );
     }
 
     #[test]

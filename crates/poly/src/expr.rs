@@ -118,11 +118,7 @@ impl GateExpr {
             }
             GateExpr::Sub(a, b) => {
                 let mut m = a.monomials();
-                m.extend(
-                    b.monomials()
-                        .into_iter()
-                        .map(|(c, s, f)| (-c, s, f)),
-                );
+                m.extend(b.monomials().into_iter().map(|(c, s, f)| (-c, s, f)));
                 m
             }
             GateExpr::Neg(a) => a
@@ -260,10 +256,7 @@ mod tests {
     }
 
     fn arb_expr(num_vars: usize) -> impl Strategy<Value = GateExpr> {
-        let leaf = prop_oneof![
-            (0..num_vars).prop_map(var),
-            (-4i64..5).prop_map(konst),
-        ];
+        let leaf = prop_oneof![(0..num_vars).prop_map(var), (-4i64..5).prop_map(konst),];
         leaf.prop_recursive(4, 24, 3, |inner| {
             prop_oneof![
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),

@@ -185,11 +185,8 @@ pub fn table1_gate(id: usize) -> GateInfo {
             let yp = v.var("y_p", Witness);
             let yr = v.var("y_r", Witness);
             let lambda = v.var("lambda", Witness);
-            let e = q
-                * xp.clone()
-                * xq.clone()
-                * (xq - xp.clone())
-                * (lambda * (xp - xr) - yp - yr);
+            let e =
+                q * xp.clone() * xq.clone() * (xq - xp.clone()) * (lambda * (xp - xr) - yp - yr);
             v.finish(11, "Complete Addition 4", e)
         }
         12 => {
@@ -200,11 +197,7 @@ pub fn table1_gate(id: usize) -> GateInfo {
             let yp = v.var("y_p", Witness);
             let yq = v.var("y_q", Witness);
             let lambda = v.var("lambda", Witness);
-            let e = q
-                * xp.clone()
-                * xq.clone()
-                * (yq + yp)
-                * (lambda.pow(2) - xp - xq - xr);
+            let e = q * xp.clone() * xq.clone() * (yq + yp) * (lambda.pow(2) - xp - xq - xr);
             v.finish(12, "Complete Addition 5", e)
         }
         13 => {
@@ -216,11 +209,7 @@ pub fn table1_gate(id: usize) -> GateInfo {
             let yq = v.var("y_q", Witness);
             let yr = v.var("y_r", Witness);
             let lambda = v.var("lambda", Witness);
-            let e = q
-                * xp.clone()
-                * xq
-                * (yq + yp.clone())
-                * (lambda * (xp - xr) - yp - yr);
+            let e = q * xp.clone() * xq * (yq + yp.clone()) * (lambda * (xp - xr) - yp - yr);
             v.finish(13, "Complete Addition 6", e)
         }
         14 => {
@@ -415,9 +404,7 @@ pub fn high_degree_gate(degree: usize) -> GateInfo {
     let w2 = v.var("w_2", Witness);
     let e = match degree {
         2 => q1 * w1.clone() + q2 * w2.clone() + q3 * w2 + qc,
-        d => {
-            q1 * w1.clone() + q2 * w2.clone() + q3 * w1.pow(d as u32 - 2) * w2 + qc
-        }
+        d => q1 * w1.clone() + q2 * w2.clone() + q3 * w1.pow(d as u32 - 2) * w2 + qc,
     };
     let mut info = v.finish(usize::MAX, "High-degree sweep gate", e);
     info.name = "High-degree sweep gate";
@@ -478,7 +465,7 @@ mod tests {
         assert_eq!(g.poly.num_terms(), 13);
         assert_eq!(g.poly.num_mles(), 19);
         assert_eq!(g.poly.degree(), 7); // q_H1 * w1^5 * f_r
-        // ICICLE cannot run this: more than 8 unique constituents (§VI-A4).
+                                        // ICICLE cannot run this: more than 8 unique constituents (§VI-A4).
         assert!(g.poly.max_unique_factors_per_term() <= 8);
         assert!(g.poly.unique_mles().len() > 8);
     }
@@ -519,10 +506,7 @@ mod tests {
         // verify the identity algebraically at arbitrary values.
         let y = Fr::random(&mut rng);
         let expected = Fr::ONE * (y * y - x * x * x - Fr::from_u64(5));
-        assert_eq!(
-            g.poly.evaluate_with_mle_values(&[Fr::ONE, x, y]),
-            expected
-        );
+        assert_eq!(g.poly.evaluate_with_mle_values(&[Fr::ONE, x, y]), expected);
         let _ = y2;
     }
 
@@ -645,9 +629,10 @@ mod ecc_tests {
                 "gate 7 must vanish on a real addition"
             );
             // A wrong sum is caught by at least one of the two gates.
-            let bad6 = gate6
-                .poly
-                .evaluate_with_mle_values(&[Fr::ONE, xp, xq, xr + Fr::ONE, yp, yq]);
+            let bad6 =
+                gate6
+                    .poly
+                    .evaluate_with_mle_values(&[Fr::ONE, xp, xq, xr + Fr::ONE, yp, yq]);
             assert!(!bad6.is_zero(), "gate 6 must catch a wrong x_r");
         }
     }

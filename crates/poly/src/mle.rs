@@ -203,13 +203,7 @@ mod tests {
         let f = random_mle(4, 1);
         for b in 0..16usize {
             let point: Vec<Fr> = (0..4)
-                .map(|j| {
-                    if (b >> j) & 1 == 1 {
-                        Fr::ONE
-                    } else {
-                        Fr::ZERO
-                    }
-                })
+                .map(|j| if (b >> j) & 1 == 1 { Fr::ONE } else { Fr::ZERO })
                 .collect();
             assert_eq!(f.evaluate(&point), f.evals()[b]);
         }
@@ -248,12 +242,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let r: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
         let eq = Mle::eq_table(&r);
-        let via_eq: Fr = f
-            .evals()
-            .iter()
-            .zip(eq.evals())
-            .map(|(a, b)| *a * *b)
-            .sum();
+        let via_eq: Fr = f.evals().iter().zip(eq.evals()).map(|(a, b)| *a * *b).sum();
         assert_eq!(via_eq, f.evaluate(&r));
     }
 

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn exact_node_evaluation() {
-        let values: Vec<Fr> = [3u64, 1, 4, 1, 5].iter().map(|&v| Fr::from_u64(v)).collect();
+        let values: Vec<Fr> = [3u64, 1, 4, 1, 5]
+            .iter()
+            .map(|&v| Fr::from_u64(v))
+            .collect();
         for (j, &v) in values.iter().enumerate() {
             assert_eq!(interpolate_at(&values, Fr::from_u64(j as u64)), v);
         }

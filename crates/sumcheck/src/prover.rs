@@ -42,9 +42,8 @@ impl SumCheckProof {
     /// Serialized proof size in bytes (32-byte field elements), the metric
     /// of the paper's Table IX.
     pub fn size_bytes(&self) -> usize {
-        let elems = 1
-            + self.round_evals.iter().map(Vec::len).sum::<usize>()
-            + self.final_mle_evals.len();
+        let elems =
+            1 + self.round_evals.iter().map(Vec::len).sum::<usize>() + self.final_mle_evals.len();
         elems * 32
     }
 }
@@ -67,11 +66,7 @@ pub struct ProverOutput {
 /// # Panics
 ///
 /// Panics if the binding is invalid or the tables are zero-variable.
-pub fn prove(
-    poly: &CompositePoly,
-    mles: Vec<Mle>,
-    transcript: &mut Transcript,
-) -> ProverOutput {
+pub fn prove(poly: &CompositePoly, mles: Vec<Mle>, transcript: &mut Transcript) -> ProverOutput {
     prove_inner(poly, mles, transcript, None)
 }
 

@@ -60,10 +60,16 @@ impl fmt::Display for SumCheckError {
                 write!(f, "round {round} evaluations do not sum to the claim")
             }
             Self::FinalEvaluationMismatch => {
-                write!(f, "final composite evaluation does not match the last claim")
+                write!(
+                    f,
+                    "final composite evaluation does not match the last claim"
+                )
             }
             Self::OracleMismatch { slot } => {
-                write!(f, "MLE evaluation claim for slot {slot} does not match the oracle")
+                write!(
+                    f,
+                    "MLE evaluation claim for slot {slot} does not match the oracle"
+                )
             }
         }
     }
@@ -249,7 +255,10 @@ mod tests {
         let mut tv = Transcript::new(b"rt");
         assert_eq!(
             verify(&poly, 5, &out.proof, &mut tv).unwrap_err(),
-            SumCheckError::RoundCountMismatch { got: 4, expected: 5 }
+            SumCheckError::RoundCountMismatch {
+                got: 4,
+                expected: 5
+            }
         );
     }
 

@@ -64,7 +64,8 @@ pub fn keccak_f(state: &mut [u64; 25]) {
         // Chi.
         for x in 0..5 {
             for y in 0..5 {
-                state[x + 5 * y] = b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+                state[x + 5 * y] =
+                    b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
             }
         }
         // Iota.

@@ -29,8 +29,7 @@ fn main() {
     let x = var(1);
     let y = var(2);
     let lambda = var(3);
-    let gate = q.clone() * (y.clone().pow(2) - x.clone().pow(3) - konst(5)) * lambda
-        + q * x * y;
+    let gate = q.clone() * (y.clone().pow(2) - x.clone().pow(3) - konst(5)) * lambda + q * x * y;
     let poly = gate.expand();
     println!(
         "custom gate compiled: {} terms, degree {}, {} constituent MLEs",
@@ -53,7 +52,10 @@ fn main() {
     let out = prove(&poly, mles.clone(), &mut tp);
     let mut tv = Transcript::new(b"custom-gate");
     verify_with_oracle(&poly, &mles, &out.proof, &mut tv).expect("sumcheck verifies");
-    println!("functional SumCheck over 2^{mu} entries verified (claim {:?})", out.proof.claimed_sum);
+    println!(
+        "functional SumCheck over 2^{mu} entries verified (claim {:?})",
+        out.proof.claimed_sum
+    );
 
     // --- Modeled path: program the accelerator with the same composite. ---
     let profile = PolyProfile::from_composite(&poly, &kinds, "custom ECC gate");

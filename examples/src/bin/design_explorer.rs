@@ -41,10 +41,25 @@ fn main() {
     let cfg = ZkphireConfig::exemplar();
     let a = cfg.area();
     let p = cfg.power();
-    println!("area  (mm^2): MSM {:.1}, Forest {:.1}, SumCheck {:.1}, other {:.1},", a.msm, a.forest, a.sumcheck, a.other);
-    println!("              SRAM {:.1}, interconnect {:.1}, PHYs {:.1}  => total {:.1}", a.sram, a.interconnect, a.phy, a.total());
-    println!("power    (W): compute {:.1}, SRAM {:.1}, interconnect {:.1}, HBM {:.1} => total {:.1}",
-        p.msm + p.forest + p.sumcheck + p.other, p.sram, p.interconnect, p.hbm, p.total());
+    println!(
+        "area  (mm^2): MSM {:.1}, Forest {:.1}, SumCheck {:.1}, other {:.1},",
+        a.msm, a.forest, a.sumcheck, a.other
+    );
+    println!(
+        "              SRAM {:.1}, interconnect {:.1}, PHYs {:.1}  => total {:.1}",
+        a.sram,
+        a.interconnect,
+        a.phy,
+        a.total()
+    );
+    println!(
+        "power    (W): compute {:.1}, SRAM {:.1}, interconnect {:.1}, HBM {:.1} => total {:.1}",
+        p.msm + p.forest + p.sumcheck + p.other,
+        p.sram,
+        p.interconnect,
+        p.hbm,
+        p.total()
+    );
     println!(
         "forest covers SumCheck product lanes: {} ({} muls vs {} needed)",
         cfg.forest_covers_lanes(),

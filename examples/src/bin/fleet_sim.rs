@@ -1,0 +1,80 @@
+//! `fleet_sim` — operate a zkPHIRE proving service in simulation.
+//!
+//! Walks one scenario end to end: steady Poisson traffic, then a bursty
+//! ON/OFF front, on fleets of growing size, and finally asks the DSE
+//! layer how many chips a 50 ms p99 SLO actually needs.
+//!
+//! Run with `cargo run --release -p zkphire-examples --bin fleet_sim`.
+
+use zkphire_core::costdb::CostModel;
+use zkphire_core::system::ZkphireConfig;
+use zkphire_dse::{size_fleet, FleetSlo};
+use zkphire_fleet::{simulate, FleetConfig, OnOffSource, PoissonSource, PolicyKind, WorkloadMix};
+
+fn main() {
+    let horizon_ms = 5_000.0;
+    let seed = 2026;
+    let mix = WorkloadMix::table_vii_jellyfish(21);
+    println!("zkPHIRE proving-service simulator");
+    println!(
+        "traffic classes: {}",
+        mix.classes()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // One memoized cost model for every simulation below.
+    let mut cost = CostModel::exemplar();
+
+    // 1. Steady traffic, growing fleet.
+    println!("\n— Poisson 600 req/s, size-class batching —");
+    for chips in [1usize, 2, 4] {
+        let mut source = PoissonSource::new(600.0, horizon_ms, mix.clone(), seed);
+        let cfg = FleetConfig::new(chips);
+        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        println!(
+            "{chips} chip(s): {:7.1} proofs/s  util {:.2}  p50 {:8.2} ms  p99 {:8.2} ms",
+            s.throughput_rps, s.mean_utilization, s.p50_latency_ms, s.p99_latency_ms
+        );
+    }
+
+    // 2. The same average load, but bursty: ON 1/3 of the time at 3×
+    //    the rate. Tail latency degrades even though throughput holds.
+    println!("\n— ON/OFF bursts, same 600 req/s average, 2 chips —");
+    let mut steady = PoissonSource::new(600.0, horizon_ms, mix.clone(), seed);
+    let smooth = simulate(&FleetConfig::new(2), &mut steady, &mut cost).summary;
+    let mut bursty_src = OnOffSource::new(1800.0, 400.0, 800.0, horizon_ms, mix.clone(), seed);
+    let bursty = simulate(&FleetConfig::new(2), &mut bursty_src, &mut cost).summary;
+    println!(
+        "steady: p99 {:8.2} ms   bursty: p99 {:8.2} ms  ({:.1}x)",
+        smooth.p99_latency_ms,
+        bursty.p99_latency_ms,
+        bursty.p99_latency_ms / smooth.p99_latency_ms
+    );
+
+    // 3. SLO-driven sizing via the DSE layer.
+    println!("\n— fleet sizing: p99 <= 50 ms on the exemplar chip —");
+    let chip = ZkphireConfig::exemplar();
+    for rate in [200.0, 600.0, 1200.0] {
+        let slo = FleetSlo {
+            arrival_rps: rate,
+            p99_ms: 50.0,
+            queue_capacity: None,
+            max_reject_fraction: 0.0,
+            horizon_ms,
+            seed,
+        };
+        match size_fleet(&chip, &mix, PolicyKind::SizeClass, &slo, 64) {
+            Some(sizing) => println!(
+                "{rate:6.0} req/s -> {:2} chip(s), p99 {:6.2} ms, {:6.0} mm2, {:5.0} W",
+                sizing.chips,
+                sizing.summary.p99_latency_ms,
+                sizing.cost.total_area_mm2,
+                sizing.cost.total_power_w
+            ),
+            None => println!("{rate:6.0} req/s -> infeasible within 64 chips"),
+        }
+    }
+}

@@ -34,7 +34,10 @@ fn main() {
     let verify_time = start.elapsed();
 
     println!();
-    println!("proof size:   {} bytes (succinct — independent of witness data)", proof.size_bytes());
+    println!(
+        "proof size:   {} bytes (succinct — independent of witness data)",
+        proof.size_bytes()
+    );
     println!("prove time:   {prove_time:?}");
     println!("verify time:  {verify_time:?}");
     println!("ok: the verifier accepted without ever seeing the witness.");

@@ -1,0 +1,173 @@
+//! Integration tests for the proving-service stack: the fleet DES
+//! driven by the core cost model, checked for determinism, metric
+//! correctness and policy invariants.
+
+use std::collections::HashMap;
+
+use zkphire_core::costdb::CostModel;
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{
+    quantile, quantile_sorted, simulate, simulate_poisson_fleet, FleetConfig, PoissonSource,
+    PolicyKind, RequestClass, SimReport, SplitMix64, TraceSource, WorkloadMix,
+};
+
+fn service_run(policy: PolicyKind, seed: u64, chips: usize, rate: f64) -> SimReport {
+    let mut cost = CostModel::exemplar();
+    let mix = WorkloadMix::tables_vi_vii(20);
+    let mut source = PoissonSource::new(rate, 3_000.0, mix, seed);
+    let cfg = FleetConfig::new(chips).with_policy(policy);
+    simulate(&cfg, &mut source, &mut cost)
+}
+
+#[test]
+fn same_seed_identical_event_trace() {
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::SizeClass,
+        PolicyKind::EarliestDeadline,
+    ] {
+        let a = service_run(policy, 42, 3, 150.0);
+        let b = service_run(policy, 42, 3, 150.0);
+        assert_eq!(a.trace, b.trace, "{policy:?} trace diverged");
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish_ms, y.finish_ms);
+            assert_eq!(x.chip, y.chip);
+        }
+        let c = service_run(policy, 43, 3, 150.0);
+        assert_ne!(a.trace_hash, c.trace_hash, "{policy:?} seed-insensitive");
+    }
+}
+
+#[test]
+fn quantiles_match_naive_definition() {
+    // Exact nearest-rank: smallest element with cumulative freq >= q.
+    let mut rng = SplitMix64::new(99);
+    let values: Vec<f64> = (0..1013).map(|_| rng.next_f64() * 500.0).collect();
+    let naive = |q: f64| {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    };
+    for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(quantile(&values, q), naive(q), "q = {q}");
+    }
+    // Sorted-input entry point agrees too.
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(quantile_sorted(&sorted, 0.99), naive(0.99));
+}
+
+#[test]
+fn no_request_lost_or_double_served() {
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::SizeClass,
+        PolicyKind::EarliestDeadline,
+    ] {
+        let r = service_run(policy, 7, 2, 250.0);
+        let s = &r.summary;
+        // Conservation: every arrival is either served or rejected.
+        let admitted: Vec<u64> = r
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                zkphire_fleet::TraceEntry::Admitted { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            admitted.len() as u64,
+            s.completed,
+            "{policy:?}: admitted != completed"
+        );
+        // Each id served exactly once.
+        let mut seen = HashMap::new();
+        for rec in &r.records {
+            *seen.entry(rec.id).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().all(|&n| n == 1), "{policy:?}: double service");
+        let mut served: Vec<u64> = seen.into_keys().collect();
+        served.sort_unstable();
+        let mut expected = admitted.clone();
+        expected.sort_unstable();
+        assert_eq!(served, expected, "{policy:?}: served set != admitted set");
+        // Per-record sanity: causality and batch bounds.
+        for rec in &r.records {
+            assert!(rec.start_ms >= rec.arrival_ms);
+            assert!(rec.finish_ms > rec.start_ms);
+            assert!(rec.batch_size >= 1 && rec.batch_size <= 8);
+            assert!(rec.chip < 2);
+        }
+    }
+}
+
+#[test]
+fn fifo_order_preserved_within_size_class() {
+    // Under both FIFO and size-class policies, two same-class requests
+    // must start service in arrival order.
+    for policy in [PolicyKind::Fifo, PolicyKind::SizeClass] {
+        let r = service_run(policy, 13, 2, 300.0);
+        let mut last_start: HashMap<RequestClass, (f64, u64)> = HashMap::new();
+        let mut by_id: Vec<_> = r.records.clone();
+        by_id.sort_by_key(|rec| rec.id);
+        for rec in &by_id {
+            if let Some(&(prev_start, prev_id)) = last_start.get(&rec.class) {
+                assert!(
+                    rec.start_ms >= prev_start,
+                    "{policy:?}: id {} (class {}) started {} before earlier id {} at {}",
+                    rec.id,
+                    rec.class,
+                    rec.start_ms,
+                    prev_id,
+                    prev_start
+                );
+            }
+            last_start.insert(rec.class, (rec.start_ms, rec.id));
+        }
+    }
+}
+
+#[test]
+fn end_to_end_utilization_in_unit_interval() {
+    let r = simulate_poisson_fleet(3, 200.0, 2_000.0, PolicyKind::SizeClass, 5);
+    let s = &r.summary;
+    assert!(s.completed > 100, "completed {}", s.completed);
+    assert!(
+        s.mean_utilization > 0.0 && s.mean_utilization <= 1.0,
+        "utilization {}",
+        s.mean_utilization
+    );
+    for (i, u) in s.per_chip_utilization.iter().enumerate() {
+        assert!(*u > 0.0 && *u <= 1.0 + 1e-9, "chip {i} utilization {u}");
+    }
+    assert!(s.throughput_rps > 0.0);
+    assert!(s.p50_latency_ms <= s.p95_latency_ms);
+    assert!(s.p95_latency_ms <= s.p99_latency_ms);
+    assert!(s.p99_latency_ms <= s.max_latency_ms);
+}
+
+#[test]
+fn trace_driven_replay_is_exact() {
+    // A hand-built trace through a 1-chip FIFO fleet: service times are
+    // the memoized protocol costs, so finish times are predictable.
+    let class = RequestClass::new(Gate::Jellyfish, 16);
+    let mut cost = CostModel::exemplar();
+    let per_proof = cost.proof_ms(Gate::Jellyfish, 16);
+    let overhead = 1.0;
+    let entries = vec![(0.0, class), (1.0, class)];
+    let mut source = TraceSource::new(entries);
+    let cfg = FleetConfig::new(1)
+        .with_policy(PolicyKind::Fifo)
+        .with_max_batch(1);
+    let r = simulate(&cfg, &mut source, &mut cost);
+    assert_eq!(r.records.len(), 2);
+    let first = &r.records[0];
+    let second = &r.records[1];
+    assert!((first.finish_ms - (overhead + per_proof)).abs() < 1e-9);
+    // Second waits for the first, then pays its own overhead + proof.
+    assert!((second.finish_ms - (2.0 * (overhead + per_proof))).abs() < 1e-9);
+}

@@ -48,7 +48,11 @@ fn simulator_handles_every_gate() {
         let profile = PolyProfile::from_gate(&gate);
         let r = simulate_sumcheck(&profile, 16, &cfg, &mem);
         assert!(r.total_cycles > 0.0, "gate {}", gate.id);
-        assert!(r.utilization > 0.0 && r.utilization <= 1.0, "gate {}", gate.id);
+        assert!(
+            r.utilization > 0.0 && r.utilization <= 1.0,
+            "gate {}",
+            gate.id
+        );
         assert_eq!(r.round_cycles.len(), 16);
     }
 }
@@ -110,7 +114,10 @@ fn degree_sweep_latency_has_scheduler_jumps() {
         assert!(t >= last_latency, "degree {d} regressed");
         if nodes > last_nodes && last_nodes > 0 {
             // A new scheduler node must cost a visible jump.
-            assert!(t > last_latency * 1.05, "degree {d}: no jump at node boundary");
+            assert!(
+                t > last_latency * 1.05,
+                "degree {d}: no jump at node boundary"
+            );
         }
         last_latency = t;
         last_nodes = nodes;

@@ -12,7 +12,11 @@ fn protocol_total_equals_sum_of_steps_unmasked() {
     let cfg = ZkphireConfig::exemplar();
     let r = simulate_protocol(&cfg, Gate::Jellyfish, 20, false);
     let sum = r.msm_ms() + r.sumcheck_ms() + r.other_ms();
-    assert!((r.total_ms - sum).abs() / sum < 1e-9, "{} vs {sum}", r.total_ms);
+    assert!(
+        (r.total_ms - sum).abs() / sum < 1e-9,
+        "{} vs {sum}",
+        r.total_ms
+    );
 }
 
 #[test]
@@ -81,7 +85,13 @@ fn speedup_vs_cpu_anchor_is_three_orders() {
 #[test]
 fn dse_fronts_dominate_exemplar_neighbourhood() {
     // Any Pareto point must not be dominated by the exemplar.
-    let dse = full_system_dse(&DseSpace::quick(), Gate::Jellyfish, 20, true, PrimeMode::Fixed);
+    let dse = full_system_dse(
+        &DseSpace::quick(),
+        Gate::Jellyfish,
+        20,
+        true,
+        PrimeMode::Fixed,
+    );
     let ex = ZkphireConfig::exemplar();
     let ex_runtime = simulate_protocol(&ex, Gate::Jellyfish, 20, true).total_ms;
     let ex_area = ex.area().total();
@@ -97,7 +107,13 @@ fn dse_fronts_dominate_exemplar_neighbourhood() {
 
 #[test]
 fn global_front_subset_of_tier_fronts() {
-    let dse = full_system_dse(&DseSpace::quick(), Gate::Vanilla, 18, false, PrimeMode::Fixed);
+    let dse = full_system_dse(
+        &DseSpace::quick(),
+        Gate::Vanilla,
+        18,
+        false,
+        PrimeMode::Fixed,
+    );
     for g in &dse.global_front {
         let found = dse.tier_fronts.iter().flatten().any(|p| {
             (p.runtime_ms - g.runtime_ms).abs() < 1e-12 && (p.area_mm2 - g.area_mm2).abs() < 1e-12

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use: `Criterion` / `benchmark_group` / `bench_function` /
+//! `bench_with_input` / `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop (warm-up, then timed batches
+//! until the measurement budget is spent) reporting mean ns/iter and
+//! derived throughput — no outlier analysis, plots or saved baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled by `iter`: (total_duration, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, consuming its output via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick a batch size so each batch is ~1/sample_size of the budget.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let budget_ns = self.config.measurement_time.as_nanos();
+        let total_target = (budget_ns / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+        let batch = (total_target / self.config.sample_size as u64).max(1);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.config.measurement_time {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            iters += batch;
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 100,
+        }
+    }
+}
+
+/// The harness entry point.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the nominal sample count (here: batch granularity).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            config: None,
+        }
+    }
+
+    /// Benchmarks outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(&self.config, &id.into_id(), None, f);
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    config: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn effective(&self) -> Config {
+        self.config
+            .clone()
+            .unwrap_or_else(|| self.criterion.config.clone())
+    }
+
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut cfg = self.effective();
+        cfg.sample_size = n;
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut cfg = self.effective();
+        cfg.measurement_time = d;
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.effective(), &full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.effective(), &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is immediate; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    config: &Config,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.3} Melem/s)", n as f64 / ns_per_iter * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  ({:.3} MiB/s)",
+                        n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+                    )
+                }
+                None => String::new(),
+            };
+            println!("bench {label:<48} {ns_per_iter:>14.1} ns/iter{rate}  [{iters} iters]");
+        }
+        _ => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Declares a runnable group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}
