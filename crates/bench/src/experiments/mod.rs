@@ -1,19 +1,21 @@
 //! Experiment registry: one generator per paper table/figure.
 
 mod ablations;
+mod autoscale_exps;
 mod fleet_exps;
 mod sumcheck_exps;
 mod system_exps;
 mod workload_exps;
 
 pub use ablations::ablations;
+pub use autoscale_exps::autoscale;
 pub use fleet_exps::fleet;
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
 pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "table1",
     "fig6",
     "fig7",
@@ -33,6 +35,7 @@ pub const ALL: [&str; 19] = [
     "table9",
     "ablations",
     "fleet",
+    "autoscale",
 ];
 
 /// Runs one experiment by name.
@@ -58,6 +61,7 @@ pub fn run(name: &str) -> Option<String> {
         "breakdown" => breakdown(),
         "ablations" => ablations(),
         "fleet" => fleet(),
+        "autoscale" => autoscale(),
         _ => return None,
     })
 }

@@ -15,7 +15,12 @@
 //!
 //! * [`fleet_objective`] — sizes a *fleet* of chips against a p99
 //!   latency SLO and traffic level via the `zkphire-fleet`
-//!   discrete-event simulator, reporting the area/power cost roll-up.
+//!   discrete-event simulator, reporting the area/power cost roll-up,
+//!   and compares static peak sizing against reactive autoscaling
+//!   policies on bursty ON/OFF traffic
+//!   ([`fleet_objective::compare_provisioning`]): the cost of
+//!   over-provisioning in chip-seconds and kJ versus the SLO risk of
+//!   scaling up through a spin-up latency.
 
 pub mod fleet_objective;
 pub mod objective;
@@ -23,7 +28,9 @@ pub mod pareto;
 pub mod space;
 
 pub use fleet_objective::{
-    evaluate_fleet, evaluate_fleet_with, fleet_cost, size_fleet, FleetCost, FleetSizing, FleetSlo,
+    compare_provisioning, evaluate_burst_fleet_with, evaluate_fleet, evaluate_fleet_with,
+    fleet_cost, size_fleet, size_fleet_burst, BurstScenario, FleetCost, FleetSizing, FleetSlo,
+    ProvisioningComparison, ProvisioningRow,
 };
 pub use objective::{select_design, sumcheck_dse, DesignScore, SumcheckDseResult};
 pub use pareto::{global_pareto, pareto_front, ParetoPoint};

@@ -34,6 +34,19 @@ pub enum Event {
         /// Which chip.
         chip: usize,
     },
+    /// A spinning-up chip comes online (scheduled `spin_up_ms` after
+    /// the autoscaler's decision).
+    ChipUp {
+        /// Which chip.
+        chip: usize,
+    },
+    /// An idle chip selected for decommission powers off.
+    ChipDown {
+        /// Which chip.
+        chip: usize,
+    },
+    /// Periodic autoscaler evaluation point.
+    ScaleTick,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -128,7 +141,7 @@ mod tests {
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Arrival(id) => id,
-                Event::BatchDone { .. } => unreachable!(),
+                _ => unreachable!(),
             })
             .collect();
         assert_eq!(order, vec![1, 2, 3]);
@@ -143,7 +156,7 @@ mod tests {
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Arrival(id) => id,
-                Event::BatchDone { .. } => unreachable!(),
+                _ => unreachable!(),
             })
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<u64>>());

@@ -1,6 +1,9 @@
-//! SLO metrics: exact sorted-sample quantiles and the per-run summary.
+//! SLO metrics: exact sorted-sample quantiles, the per-run summary,
+//! per-tenant latency breakdowns, and the Jain fairness index.
 
-use crate::request::RequestRecord;
+use std::collections::BTreeMap;
+
+use crate::request::{RequestRecord, TenantId};
 
 /// Exact nearest-rank quantile of an ascending-sorted sample:
 /// the smallest element with cumulative frequency ≥ `q`.
@@ -21,6 +24,46 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
     quantile_sorted(&sorted, q)
+}
+
+/// Per-tenant slice of a run: how one customer experienced the fleet.
+#[derive(Clone, Debug)]
+pub struct TenantSummary {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Service weight used for the fairness index (1 if unspecified).
+    pub weight: f64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Mean sojourn latency (ms).
+    pub mean_latency_ms: f64,
+    /// Median latency (ms).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Fraction of this tenant's completions past their deadline.
+    pub deadline_miss_rate: f64,
+}
+
+/// Jain's fairness index over per-tenant weight-normalized allocations
+/// `x_i = completed_i / weight_i`:
+/// `J = (Σ x_i)² / (n · Σ x_i²)` — 1 when service shares match weights
+/// exactly, `1/n` when one tenant monopolizes the fleet. Empty or
+/// single-tenant inputs return 1 (nothing to be unfair about).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.len() <= 1 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sum_sq)
 }
 
 /// Aggregate results of one fleet simulation.
@@ -44,7 +87,11 @@ pub struct FleetSummary {
     pub p99_latency_ms: f64,
     /// Worst-case latency (ms).
     pub max_latency_ms: f64,
-    /// Mean of per-chip busy fractions.
+    /// Total busy time over total *provisioned* chip-time. For a fixed
+    /// pool this equals the mean of the per-chip busy fractions; under
+    /// autoscaling it charges only the chip-time actually kept online,
+    /// so it diverges from `per_chip_utilization` (whose entries stay
+    /// relative to the whole makespan, including slots never powered).
     pub mean_utilization: f64,
     /// Busy fraction per chip.
     pub per_chip_utilization: Vec<f64>,
@@ -56,6 +103,22 @@ pub struct FleetSummary {
     pub mean_batch_size: f64,
     /// Fraction of completed requests that missed their deadline.
     pub deadline_miss_rate: f64,
+    /// Provisioned chip-time (chips online or spinning up, integrated
+    /// over the run) in seconds — the cost side of autoscaling.
+    pub chip_seconds: f64,
+    /// Time-weighted mean provisioned chip count.
+    pub mean_chips: f64,
+    /// Peak chips simultaneously provisioned.
+    pub peak_chips: usize,
+    /// Chips the autoscaler brought online mid-run.
+    pub scale_ups: u64,
+    /// Chips the autoscaler retired mid-run.
+    pub scale_downs: u64,
+    /// One slice per tenant seen in the run, ascending by id.
+    pub per_tenant: Vec<TenantSummary>,
+    /// Jain fairness index over weight-normalized per-tenant
+    /// completions (1.0 for single-tenant runs).
+    pub jain_fairness: f64,
 }
 
 /// Raw accumulators the simulator hands to [`summarize`].
@@ -71,36 +134,107 @@ pub struct RunAccumulators {
     pub batches: u64,
     /// Requests refused at admission.
     pub rejected: u64,
+    /// Per-tenant admission rejections.
+    pub rejected_by_tenant: BTreeMap<TenantId, u64>,
     /// Timestamp of the last event (ms).
     pub makespan_ms: f64,
+    /// Integral of provisioned chips over time (chips × ms). Covers
+    /// online, retiring and spinning-up chips — everything drawing
+    /// power.
+    pub chip_time_integral_ms: f64,
+    /// Peak provisioned chip count.
+    pub peak_chips: usize,
+    /// Mid-run scale-up count.
+    pub scale_ups: u64,
+    /// Mid-run scale-down count.
+    pub scale_downs: u64,
+}
+
+/// Sorted latencies → `(mean, p50, p95, p99)`; zeros for an empty run.
+fn latency_stats(sorted: &[f64]) -> (f64, f64, f64, f64) {
+    if sorted.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (
+            sorted.iter().sum::<f64>() / sorted.len() as f64,
+            quantile_sorted(sorted, 0.50),
+            quantile_sorted(sorted, 0.95),
+            quantile_sorted(sorted, 0.99),
+        )
+    }
 }
 
 /// Reduces completion records and accumulators to a [`FleetSummary`].
-pub fn summarize(records: &[RequestRecord], acc: &RunAccumulators) -> FleetSummary {
+/// `tenant_weights` feeds the fairness index and the per-tenant
+/// summaries; tenants absent from it weigh 1.
+pub fn summarize(
+    records: &[RequestRecord],
+    acc: &RunAccumulators,
+    tenant_weights: &[(TenantId, f64)],
+) -> FleetSummary {
     let completed = records.len() as u64;
     let makespan = acc.makespan_ms;
     let mut latencies: Vec<f64> = records.iter().map(RequestRecord::latency_ms).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
-    let (mean, p50, p95, p99, max) = if latencies.is_empty() {
-        (0.0, 0.0, 0.0, 0.0, 0.0)
-    } else {
-        (
-            latencies.iter().sum::<f64>() / latencies.len() as f64,
-            quantile_sorted(&latencies, 0.50),
-            quantile_sorted(&latencies, 0.95),
-            quantile_sorted(&latencies, 0.99),
-            *latencies.last().expect("non-empty"),
-        )
+    let (mean, p50, p95, p99) = latency_stats(&latencies);
+    let max = latencies.last().copied().unwrap_or(0.0);
+
+    // Per-tenant slices: every tenant that completed a request or was
+    // rejected gets one, ascending by id.
+    let weight_of = |tenant: TenantId| {
+        tenant_weights
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(1.0, |(_, w)| *w)
     };
+    let mut by_tenant: BTreeMap<TenantId, Vec<&RequestRecord>> = BTreeMap::new();
+    for r in records {
+        by_tenant.entry(r.tenant).or_default().push(r);
+    }
+    for &tenant in acc.rejected_by_tenant.keys() {
+        by_tenant.entry(tenant).or_default();
+    }
+    let per_tenant: Vec<TenantSummary> = by_tenant
+        .iter()
+        .map(|(&tenant, recs)| {
+            let mut lats: Vec<f64> = recs.iter().map(|r| r.latency_ms()).collect();
+            lats.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+            let (t_mean, t_p50, t_p95, t_p99) = latency_stats(&lats);
+            let misses = recs.iter().filter(|r| !r.met_deadline()).count();
+            TenantSummary {
+                tenant,
+                weight: weight_of(tenant),
+                completed: recs.len() as u64,
+                rejected: acc.rejected_by_tenant.get(&tenant).copied().unwrap_or(0),
+                mean_latency_ms: t_mean,
+                p50_latency_ms: t_p50,
+                p95_latency_ms: t_p95,
+                p99_latency_ms: t_p99,
+                deadline_miss_rate: if recs.is_empty() {
+                    0.0
+                } else {
+                    misses as f64 / recs.len() as f64
+                },
+            }
+        })
+        .collect();
+    let allocations: Vec<f64> = per_tenant
+        .iter()
+        .map(|t| t.completed as f64 / t.weight)
+        .collect();
+    let jain_fairness = jain_index(&allocations);
     let per_chip_utilization: Vec<f64> = acc
         .busy_ms
         .iter()
         .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
         .collect();
-    let mean_utilization = if per_chip_utilization.is_empty() {
-        0.0
+    // Busy time over *provisioned* time: for a static pool this equals
+    // the mean of per-chip busy fractions; with autoscaling it charges
+    // only the chip-time actually kept online.
+    let mean_utilization = if acc.chip_time_integral_ms > 0.0 {
+        acc.busy_ms.iter().sum::<f64>() / acc.chip_time_integral_ms
     } else {
-        per_chip_utilization.iter().sum::<f64>() / per_chip_utilization.len() as f64
+        0.0
     };
     let misses = records.iter().filter(|r| !r.met_deadline()).count();
     FleetSummary {
@@ -135,6 +269,17 @@ pub fn summarize(records: &[RequestRecord], acc: &RunAccumulators) -> FleetSumma
         } else {
             0.0
         },
+        chip_seconds: acc.chip_time_integral_ms / 1000.0,
+        mean_chips: if makespan > 0.0 {
+            acc.chip_time_integral_ms / makespan
+        } else {
+            0.0
+        },
+        peak_chips: acc.peak_chips,
+        scale_ups: acc.scale_ups,
+        scale_downs: acc.scale_downs,
+        per_tenant,
+        jain_fairness,
     }
 }
 
@@ -169,5 +314,18 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn zero_quantile_rejected() {
         quantile_sorted(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn jain_index_limits() {
+        // Perfect equality → 1; total monopoly of n tenants → 1/n.
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        let mono = jain_index(&[12.0, 0.0, 0.0, 0.0]);
+        assert!((mono - 0.25).abs() < 1e-12, "monopoly {mono}");
+        // Empty / single-tenant runs are trivially fair.
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[7.0]), 1.0);
+        // All-zero allocations (nothing completed) are not NaN.
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
     }
 }

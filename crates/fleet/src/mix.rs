@@ -8,7 +8,7 @@
 //! (wallet transfers, single hashes) for every monster rollup — but any
 //! weighting can be supplied.
 
-use crate::request::RequestClass;
+use crate::request::{RequestClass, TenantId};
 use crate::rng::SplitMix64;
 use zkphire_core::protocol::Gate;
 use zkphire_core::workloads::all_workloads;
@@ -102,6 +102,109 @@ impl WorkloadMix {
     }
 }
 
+/// One tenant's share of the traffic: its id, its fraction of the
+/// arrival stream (`traffic_weight`), its service entitlement under
+/// weighted-fair batching (`service_weight`), and what it submits.
+#[derive(Clone, Debug)]
+pub struct TenantProfile {
+    /// Tenant id (unique within a [`TenantMix`]).
+    pub tenant: TenantId,
+    /// Relative share of arrivals this tenant generates (> 0).
+    pub traffic_weight: f64,
+    /// Relative service entitlement for fair queueing (> 0).
+    pub service_weight: f64,
+    /// What this tenant submits.
+    pub mix: WorkloadMix,
+}
+
+impl TenantProfile {
+    /// A profile with equal traffic and service weight.
+    pub fn new(tenant: TenantId, weight: f64, mix: WorkloadMix) -> Self {
+        Self {
+            tenant,
+            traffic_weight: weight,
+            service_weight: weight,
+            mix,
+        }
+    }
+
+    /// Overrides the service entitlement (builder style).
+    pub fn with_service_weight(mut self, w: f64) -> Self {
+        self.service_weight = w;
+        self
+    }
+}
+
+/// A multi-tenant traffic description: per-tenant workload mixes plus
+/// arrival shares. Drawing yields `(tenant, class)`; a single-tenant
+/// mix consumes exactly the same RNG stream as a bare [`WorkloadMix`],
+/// so existing single-tenant seeds replay unchanged.
+#[derive(Clone, Debug)]
+pub struct TenantMix {
+    profiles: Vec<TenantProfile>,
+    traffic_weights: Vec<f64>,
+}
+
+impl TenantMix {
+    /// Builds from per-tenant profiles; ids must be unique, weights
+    /// positive.
+    pub fn new(profiles: Vec<TenantProfile>) -> Self {
+        assert!(!profiles.is_empty(), "empty tenant mix");
+        for (i, p) in profiles.iter().enumerate() {
+            assert!(p.traffic_weight > 0.0, "non-positive traffic weight");
+            assert!(p.service_weight > 0.0, "non-positive service weight");
+            assert!(
+                profiles[..i].iter().all(|q| q.tenant != p.tenant),
+                "duplicate tenant id {}",
+                p.tenant
+            );
+        }
+        let traffic_weights = profiles.iter().map(|p| p.traffic_weight).collect();
+        Self {
+            profiles,
+            traffic_weights,
+        }
+    }
+
+    /// The whole stream belongs to tenant 0.
+    pub fn single(mix: WorkloadMix) -> Self {
+        Self::new(vec![TenantProfile::new(0, 1.0, mix)])
+    }
+
+    /// The tenant profiles.
+    pub fn profiles(&self) -> &[TenantProfile] {
+        &self.profiles
+    }
+
+    /// `(tenant, service_weight)` pairs, for fair-queueing policies and
+    /// the Jain fairness index.
+    pub fn service_weights(&self) -> Vec<(TenantId, f64)> {
+        self.profiles
+            .iter()
+            .map(|p| (p.tenant, p.service_weight))
+            .collect()
+    }
+
+    /// Draws one arrival's `(tenant, class)`. Single-tenant mixes skip
+    /// the tenant draw so their RNG stream matches plain
+    /// [`WorkloadMix::draw`].
+    pub fn draw(&self, rng: &mut SplitMix64) -> (TenantId, RequestClass) {
+        let i = if self.profiles.len() == 1 {
+            0
+        } else {
+            rng.next_weighted(&self.traffic_weights)
+        };
+        let p = &self.profiles[i];
+        (p.tenant, p.mix.draw(rng))
+    }
+}
+
+impl From<WorkloadMix> for TenantMix {
+    fn from(mix: WorkloadMix) -> Self {
+        Self::single(mix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +252,49 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(mix.draw(&mut a), mix.draw(&mut b));
         }
+    }
+
+    #[test]
+    fn single_tenant_preserves_workload_stream() {
+        // TenantMix::single must consume exactly the RNG draws a bare
+        // WorkloadMix does, so single-tenant seeds replay unchanged.
+        let mix = WorkloadMix::tables_vi_vii(22);
+        let tm = TenantMix::single(mix.clone());
+        let mut a = SplitMix64::new(17);
+        let mut b = SplitMix64::new(17);
+        for _ in 0..200 {
+            let (tenant, class) = tm.draw(&mut a);
+            assert_eq!(tenant, 0);
+            assert_eq!(class, mix.draw(&mut b));
+        }
+    }
+
+    #[test]
+    fn tenant_draw_tracks_traffic_weights() {
+        use zkphire_core::protocol::Gate;
+        let small = WorkloadMix::single(crate::request::RequestClass::new(Gate::Jellyfish, 16));
+        let tm = TenantMix::new(vec![
+            TenantProfile::new(1, 3.0, small.clone()),
+            TenantProfile::new(2, 1.0, small),
+        ]);
+        let mut rng = SplitMix64::new(4);
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            let (t, _) = tm.draw(&mut rng);
+            counts[(t - 1) as usize] += 1;
+        }
+        // Tenant 1 offers 3× tenant 2's traffic.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant")]
+    fn duplicate_tenant_ids_rejected() {
+        let m = WorkloadMix::table_vii_jellyfish(20);
+        TenantMix::new(vec![
+            TenantProfile::new(1, 1.0, m.clone()),
+            TenantProfile::new(1, 1.0, m),
+        ]);
     }
 }

@@ -15,10 +15,13 @@
 //! * [`EdfPolicy`] — earliest-deadline-first: picks the most urgent
 //!   request, then fills the batch with same-class requests in deadline
 //!   order.
+//! * [`WeightedFairPolicy`] — deficit round-robin over per-tenant
+//!   queues: under contention each tenant's served-request share tracks
+//!   its service weight, so one noisy tenant cannot starve the rest.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::request::{Request, RequestClass};
+use crate::request::{Request, RequestClass, TenantId};
 
 /// Which policy a simulation runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,15 +32,26 @@ pub enum PolicyKind {
     SizeClass,
     /// Earliest deadline first.
     EarliestDeadline,
+    /// Deficit round-robin over per-tenant queues; weights come from
+    /// [`crate::sim::FleetConfig::tenant_weights`] (absent tenants
+    /// weigh 1).
+    WeightedFair,
 }
 
 impl PolicyKind {
-    /// Instantiates the policy.
+    /// Instantiates the policy with all tenants weighted equally.
     pub fn build(self) -> Box<dyn BatchPolicy> {
+        self.build_with(&[])
+    }
+
+    /// Instantiates the policy with explicit per-tenant service
+    /// weights (only [`PolicyKind::WeightedFair`] consults them).
+    pub fn build_with(self, tenant_weights: &[(TenantId, f64)]) -> Box<dyn BatchPolicy> {
         match self {
             PolicyKind::Fifo => Box::new(FifoPolicy::default()),
             PolicyKind::SizeClass => Box::new(SizeClassPolicy::default()),
             PolicyKind::EarliestDeadline => Box::new(EdfPolicy::default()),
+            PolicyKind::WeightedFair => Box::new(WeightedFairPolicy::new(tenant_weights.to_vec())),
         }
     }
 
@@ -47,6 +61,7 @@ impl PolicyKind {
             PolicyKind::Fifo => "fifo",
             PolicyKind::SizeClass => "size-class",
             PolicyKind::EarliestDeadline => "edf",
+            PolicyKind::WeightedFair => "weighted-fair",
         }
     }
 }
@@ -204,14 +219,153 @@ impl BatchPolicy for EdfPolicy {
     }
 }
 
+/// See [`PolicyKind::WeightedFair`]: deficit round-robin (Shreedhar &
+/// Varghese) over per-tenant FIFO queues, the service cost of a request
+/// being one unit. Each visit credits a tenant `quantum × weight`;
+/// serving spends one credit per request, so over any contended window
+/// tenant `i` is served in proportion to `weight_i`. Within a tenant,
+/// order is FIFO with head-run coalescing (same mechanics as
+/// [`FifoPolicy`]) so batches stay same-class.
+#[derive(Clone, Debug)]
+pub struct WeightedFairPolicy {
+    queues: BTreeMap<TenantId, VecDeque<Request>>,
+    /// Deficit credit per active tenant.
+    deficits: BTreeMap<TenantId, f64>,
+    /// Configured service weights; absent tenants weigh 1.
+    weights: BTreeMap<TenantId, f64>,
+    /// Round-robin rotation over tenants with queued work.
+    rotation: VecDeque<TenantId>,
+    /// Whether the rotation's front tenant already received this
+    /// round's credit.
+    front_credited: bool,
+    depth: usize,
+}
+
+impl Default for WeightedFairPolicy {
+    fn default() -> Self {
+        Self::new(Vec::new())
+    }
+}
+
+impl WeightedFairPolicy {
+    /// Builds with explicit `(tenant, weight)` entitlements; weights
+    /// must be positive, tenants not listed weigh 1.
+    pub fn new(tenant_weights: Vec<(TenantId, f64)>) -> Self {
+        let mut weights = BTreeMap::new();
+        for (tenant, w) in tenant_weights {
+            assert!(w > 0.0, "non-positive service weight for tenant {tenant}");
+            weights.insert(tenant, w);
+        }
+        Self {
+            queues: BTreeMap::new(),
+            deficits: BTreeMap::new(),
+            weights,
+            rotation: VecDeque::new(),
+            front_credited: false,
+            depth: 0,
+        }
+    }
+
+    fn weight(&self, tenant: TenantId) -> f64 {
+        self.weights.get(&tenant).copied().unwrap_or(1.0)
+    }
+}
+
+impl BatchPolicy for WeightedFairPolicy {
+    fn push(&mut self, req: Request) {
+        let q = self.queues.entry(req.tenant).or_default();
+        if q.is_empty() {
+            // Re-entering the rotation starts with zero credit, so an
+            // idle tenant cannot bank service time.
+            self.rotation.push_back(req.tenant);
+            self.deficits.insert(req.tenant, 0.0);
+        }
+        q.push_back(req);
+        self.depth += 1;
+    }
+
+    fn pop_batch(&mut self, max_batch: usize) -> Option<Vec<Request>> {
+        if self.depth == 0 {
+            return None;
+        }
+        // One round visits the front tenant, credits it
+        // `weight × max_batch` requests once, and serves it until the
+        // credit runs dry (possibly across several pop_batch calls) —
+        // then the rotation advances. High-weight tenants emit several
+        // full batches per round, low-weight tenants wait several
+        // rounds per batch, and leftover credit at rotation is always
+        // < 1, so no tenant banks service across rounds.
+        let quantum = max_batch.max(1) as f64;
+        loop {
+            let tenant = *self.rotation.front().expect("depth > 0, rotation empty");
+            let weight = self.weight(tenant);
+            let deficit = self.deficits.get_mut(&tenant).expect("active tenant");
+            if !self.front_credited {
+                *deficit += quantum * weight;
+                self.front_credited = true;
+            }
+            if *deficit < 1.0 {
+                // This round's credit does not cover a request; next
+                // tenant. Weights are positive, so the credit crosses 1
+                // after finitely many rounds — no starvation.
+                self.rotation.rotate_left(1);
+                self.front_credited = false;
+                continue;
+            }
+            let allowance = (*deficit).floor() as usize;
+            let q = self.queues.get_mut(&tenant).expect("active tenant");
+            let head = q.pop_front().expect("active tenant has work");
+            let class = head.class;
+            let cap = max_batch.max(1).min(allowance);
+            let mut batch = vec![head];
+            while batch.len() < cap {
+                match q.front() {
+                    Some(next) if next.class == class => {
+                        batch.push(q.pop_front().expect("front checked"));
+                    }
+                    _ => break,
+                }
+            }
+            *deficit -= batch.len() as f64;
+            self.depth -= batch.len();
+            if q.is_empty() {
+                self.queues.remove(&tenant);
+                self.deficits.remove(&tenant);
+                self.rotation.pop_front();
+                self.front_credited = false;
+            } else if *deficit < 1.0 {
+                self.rotation.rotate_left(1);
+                self.front_credited = false;
+            }
+            return Some(batch);
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use zkphire_core::protocol::Gate;
 
     fn req(id: u64, gate: Gate, mu: usize, arrival: f64, deadline: f64) -> Request {
+        tenant_req(id, 0, gate, mu, arrival, deadline)
+    }
+
+    fn tenant_req(
+        id: u64,
+        tenant: TenantId,
+        gate: Gate,
+        mu: usize,
+        arrival: f64,
+        deadline: f64,
+    ) -> Request {
         Request {
             id,
+            tenant,
             class: RequestClass::new(gate, mu),
             arrival_ms: arrival,
             deadline_ms: deadline,
@@ -259,6 +413,77 @@ mod tests {
         let b = p.pop_batch(2).unwrap();
         assert_eq!(b.len(), 2);
         assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn drr_alternates_equal_weight_tenants() {
+        let mut p = WeightedFairPolicy::default();
+        // Tenant 1 floods first; tenant 2 queues two requests after.
+        for i in 0..6 {
+            p.push(tenant_req(i, 1, Gate::Jellyfish, 18, i as f64, 100.0));
+        }
+        p.push(tenant_req(6, 2, Gate::Vanilla, 20, 6.0, 100.0));
+        p.push(tenant_req(7, 2, Gate::Vanilla, 20, 7.0, 100.0));
+        // With batch cap 1 and equal weights, service alternates once
+        // tenant 2 is active instead of draining tenant 1 first.
+        let order: Vec<TenantId> = std::iter::from_fn(|| p.pop_batch(1))
+            .map(|b| b[0].tenant)
+            .collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 1, 1, 1]);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn drr_share_tracks_weights_under_contention() {
+        // Tenant 1 weighs 3, tenant 2 weighs 1; both have deep backlogs.
+        let mut p = WeightedFairPolicy::new(vec![(1, 3.0), (2, 1.0)]);
+        for i in 0..400 {
+            p.push(tenant_req(i, 1, Gate::Jellyfish, 18, i as f64, 1e9));
+            p.push(tenant_req(400 + i, 2, Gate::Jellyfish, 18, i as f64, 1e9));
+        }
+        // Serve the first 200 requests and count the split.
+        let mut served = [0usize; 2];
+        let mut total = 0;
+        while total < 200 {
+            let b = p.pop_batch(4).unwrap();
+            served[(b[0].tenant - 1) as usize] += b.len();
+            total += b.len();
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((2.0..4.5).contains(&ratio), "served {served:?}");
+    }
+
+    #[test]
+    fn drr_fractional_weight_not_starved() {
+        // A 0.25-weight tenant needs four rotation visits per request
+        // but must still be served.
+        let mut p = WeightedFairPolicy::new(vec![(1, 1.0), (2, 0.25)]);
+        for i in 0..12 {
+            p.push(tenant_req(i, 1, Gate::Jellyfish, 18, i as f64, 1e9));
+        }
+        p.push(tenant_req(12, 2, Gate::Vanilla, 20, 0.5, 1e9));
+        let mut tenants = Vec::new();
+        while let Some(b) = p.pop_batch(1) {
+            tenants.push(b[0].tenant);
+        }
+        assert_eq!(tenants.len(), 13);
+        assert!(
+            tenants.contains(&2),
+            "low-weight tenant starved: {tenants:?}"
+        );
+    }
+
+    #[test]
+    fn drr_batches_stay_same_class_and_fifo_within_tenant() {
+        let mut p = WeightedFairPolicy::default();
+        p.push(tenant_req(0, 5, Gate::Jellyfish, 18, 0.0, 1e9));
+        p.push(tenant_req(1, 5, Gate::Jellyfish, 18, 1.0, 1e9));
+        p.push(tenant_req(2, 5, Gate::Vanilla, 20, 2.0, 1e9));
+        let b = p.pop_batch(8).unwrap();
+        assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        let b = p.pop_batch(8).unwrap();
+        assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        assert!(p.pop_batch(8).is_none());
     }
 
     #[test]

@@ -1,6 +1,12 @@
-//! Proof requests and their size classes.
+//! Proof requests, their size classes, and the tenants that submit them.
 
 use zkphire_core::protocol::Gate;
+
+/// Identifies the customer a request belongs to. A single-tenant
+/// deployment uses tenant `0` everywhere; multi-tenant runs assign one
+/// id per customer and weight service between them (see
+/// [`crate::policy::WeightedFairPolicy`]).
+pub type TenantId = u32;
 
 /// The service class of a request: which arithmetization and how many
 /// gates (`2^mu`). Two requests of the same class have identical
@@ -35,6 +41,8 @@ impl std::fmt::Display for RequestClass {
 pub struct Request {
     /// Unique, monotonically assigned id (also the arrival order).
     pub id: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
     /// Service class.
     pub class: RequestClass,
     /// Arrival timestamp (ms).
@@ -48,6 +56,8 @@ pub struct Request {
 pub struct RequestRecord {
     /// The request id.
     pub id: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
     /// Service class.
     pub class: RequestClass,
     /// Arrival timestamp (ms).

@@ -1,0 +1,380 @@
+//! Reactive autoscaling: vary the online chip count mid-run to track
+//! bursty demand.
+//!
+//! The paper sizes one chip for peak gate degree; a proving *service*
+//! sized for peak burns idle silicon through every trough. This module
+//! lets the simulator grow and shrink the pool between
+//! `[min_chips, max_chips]`: a periodic `ScaleTick` event observes the
+//! queue and pool, an [`AutoscalePolicy`] turns the observation into a
+//! [`ScaleDecision`], and the simulator realizes it through `ChipUp`
+//! events (after a configurable spin-up latency — power gating, PCIe
+//! re-enumeration, SRAM init) and `ChipDown` events (idle chips only,
+//! immediately). Decisions are pure functions of observed state, so
+//! autoscaled runs stay bit-identical per seed.
+//!
+//! Three policies ship:
+//!
+//! * [`StaticScale`] — never changes the pool; the baseline every
+//!   reactive policy is judged against.
+//! * [`QueueDepthScale`] — hysteresis on backlog: add chips while the
+//!   queue exceeds `up_depth` entries per online chip, retire one while
+//!   it sits at or below `down_depth` and a chip is idle.
+//! * [`UtilizationTargetScale`] — hold the busy fraction inside
+//!   `[low, high]`: add a chip when the pool runs hotter than `high`
+//!   with work queued, retire one when it runs colder than `low`.
+
+use crate::request::TenantId;
+
+/// Deployment knobs shared by every autoscaling policy.
+#[derive(Clone, Debug)]
+pub struct AutoscaleConfig {
+    /// Which reactive policy decides.
+    pub kind: ScaleKind,
+    /// Pool floor (≥ 1): the autoscaler never goes below this.
+    pub min_chips: usize,
+    /// Pool ceiling: the autoscaler never goes above this.
+    pub max_chips: usize,
+    /// Latency from an up-decision to the chip accepting work (ms).
+    pub spin_up_ms: f64,
+    /// Minimum quiet time between scaling actions (ms).
+    pub cooldown_ms: f64,
+    /// Decision cadence (ms between `ScaleTick` events).
+    pub interval_ms: f64,
+}
+
+impl AutoscaleConfig {
+    /// A reactive pool between `min_chips` and `max_chips` with a
+    /// 250 ms spin-up, 500 ms cooldown, and 100 ms decision cadence.
+    pub fn new(kind: ScaleKind, min_chips: usize, max_chips: usize) -> Self {
+        assert!(min_chips >= 1, "autoscale floor below one chip");
+        assert!(max_chips >= min_chips, "max_chips < min_chips");
+        Self {
+            kind,
+            min_chips,
+            max_chips,
+            spin_up_ms: 250.0,
+            cooldown_ms: 500.0,
+            interval_ms: 100.0,
+        }
+    }
+
+    /// Sets the spin-up latency (builder style).
+    pub fn with_spin_up_ms(mut self, ms: f64) -> Self {
+        assert!(ms >= 0.0);
+        self.spin_up_ms = ms;
+        self
+    }
+
+    /// Sets the cooldown (builder style).
+    pub fn with_cooldown_ms(mut self, ms: f64) -> Self {
+        assert!(ms >= 0.0);
+        self.cooldown_ms = ms;
+        self
+    }
+
+    /// Sets the decision cadence (builder style).
+    pub fn with_interval_ms(mut self, ms: f64) -> Self {
+        assert!(ms > 0.0);
+        self.interval_ms = ms;
+        self
+    }
+}
+
+/// Which autoscaling policy a simulation runs (the analogue of
+/// [`crate::policy::PolicyKind`] for pool sizing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScaleKind {
+    /// Fixed pool; the decision is always [`ScaleDecision::Hold`].
+    Static,
+    /// Queue-depth hysteresis (see [`QueueDepthScale`]).
+    QueueDepth {
+        /// Scale up while queued requests per online chip exceed this.
+        up_depth: usize,
+        /// Scale down while total queued requests sit at or below this.
+        down_depth: usize,
+    },
+    /// Utilization band (see [`UtilizationTargetScale`]).
+    UtilizationTarget {
+        /// Retire a chip below this busy fraction.
+        low: f64,
+        /// Add a chip above this busy fraction (with work queued).
+        high: f64,
+    },
+}
+
+impl ScaleKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn AutoscalePolicy> {
+        match self {
+            ScaleKind::Static => Box::new(StaticScale),
+            ScaleKind::QueueDepth {
+                up_depth,
+                down_depth,
+            } => Box::new(QueueDepthScale::new(up_depth, down_depth)),
+            ScaleKind::UtilizationTarget { low, high } => {
+                Box::new(UtilizationTargetScale::new(low, high))
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleKind::Static => "static",
+            ScaleKind::QueueDepth { .. } => "queue-depth",
+            ScaleKind::UtilizationTarget { .. } => "util-target",
+        }
+    }
+}
+
+/// What a policy sees at a `ScaleTick`: the pool and queue state the
+/// simulator exposes. All fields are deterministic functions of the
+/// run, never wall-clock.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleObservation {
+    /// Simulation time of the tick (ms).
+    pub now_ms: f64,
+    /// Requests queued (not yet dispatched).
+    pub queue_depth: usize,
+    /// Chips currently accepting work.
+    pub online_chips: usize,
+    /// Chips currently serving a batch.
+    pub busy_chips: usize,
+    /// Chips spinning up (decided but not yet online).
+    pub pending_up: usize,
+    /// Pool floor from the config.
+    pub min_chips: usize,
+    /// Pool ceiling from the config.
+    pub max_chips: usize,
+}
+
+impl ScaleObservation {
+    /// Busy fraction of the online pool (0 when nothing is online).
+    pub fn utilization(&self) -> f64 {
+        if self.online_chips == 0 {
+            0.0
+        } else {
+            self.busy_chips as f64 / self.online_chips as f64
+        }
+    }
+
+    /// Online plus already-committed spin-ups: what the pool will be
+    /// once in-flight decisions land.
+    pub fn committed_chips(&self) -> usize {
+        self.online_chips + self.pending_up
+    }
+}
+
+/// What a policy wants done. The simulator clamps the request to the
+/// `[min_chips, max_chips]` bounds and to the chips actually available
+/// (only idle chips retire), so a policy cannot violate the pool
+/// invariants however it answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Leave the pool alone.
+    Hold,
+    /// Spin up this many additional chips.
+    Up(usize),
+    /// Retire this many idle chips.
+    Down(usize),
+}
+
+/// A pool-sizing policy: observation in, decision out.
+pub trait AutoscalePolicy {
+    /// Decides at one `ScaleTick`.
+    fn decide(&mut self, obs: &ScaleObservation) -> ScaleDecision;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// See [`ScaleKind::Static`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticScale;
+
+impl AutoscalePolicy for StaticScale {
+    fn decide(&mut self, _obs: &ScaleObservation) -> ScaleDecision {
+        ScaleDecision::Hold
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// See [`ScaleKind::QueueDepth`]: backlog-driven with hysteresis. The
+/// up and down thresholds are deliberately separated so the pool does
+/// not flap when the depth hovers near one boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueDepthScale {
+    up_depth: usize,
+    down_depth: usize,
+}
+
+impl QueueDepthScale {
+    /// `up_depth` is per online chip; `down_depth` is absolute and must
+    /// sit below the up trigger at one chip to leave a dead band.
+    pub fn new(up_depth: usize, down_depth: usize) -> Self {
+        assert!(up_depth >= 1, "up_depth must be >= 1");
+        assert!(down_depth < up_depth, "hysteresis band is empty");
+        Self {
+            up_depth,
+            down_depth,
+        }
+    }
+}
+
+impl AutoscalePolicy for QueueDepthScale {
+    fn decide(&mut self, obs: &ScaleObservation) -> ScaleDecision {
+        let committed = obs.committed_chips().max(1);
+        let backlog_per_chip = obs.queue_depth / committed;
+        if backlog_per_chip >= self.up_depth {
+            // One chip per up_depth of excess backlog: deep bursts
+            // recruit several chips in a single decision.
+            return ScaleDecision::Up((backlog_per_chip / self.up_depth).max(1));
+        }
+        if obs.queue_depth <= self.down_depth
+            && obs.pending_up == 0
+            && obs.busy_chips < obs.online_chips
+        {
+            return ScaleDecision::Down(1);
+        }
+        ScaleDecision::Hold
+    }
+
+    fn name(&self) -> &'static str {
+        "queue-depth"
+    }
+}
+
+/// See [`ScaleKind::UtilizationTarget`]: hold the pool's busy fraction
+/// inside `[low, high]`.
+#[derive(Clone, Copy, Debug)]
+pub struct UtilizationTargetScale {
+    low: f64,
+    high: f64,
+}
+
+impl UtilizationTargetScale {
+    /// Band bounds in `(0, 1]`, `low < high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            0.0 < low && low < high && high <= 1.0,
+            "bad band [{low}, {high}]"
+        );
+        Self { low, high }
+    }
+}
+
+impl AutoscalePolicy for UtilizationTargetScale {
+    fn decide(&mut self, obs: &ScaleObservation) -> ScaleDecision {
+        let util = obs.utilization();
+        if util >= self.high && obs.queue_depth > 0 && obs.pending_up == 0 {
+            // Recruit enough chips to bring the queue down within a few
+            // intervals: one chip per queued batch-equivalent, capped by
+            // the simulator at max_chips.
+            let want = (obs.queue_depth / 4).max(1);
+            return ScaleDecision::Up(want);
+        }
+        if util <= self.low
+            && obs.queue_depth == 0
+            && obs.pending_up == 0
+            && obs.busy_chips < obs.online_chips
+        {
+            return ScaleDecision::Down(1);
+        }
+        ScaleDecision::Hold
+    }
+
+    fn name(&self) -> &'static str {
+        "util-target"
+    }
+}
+
+/// Per-tenant service weights for fair queueing: `(tenant, weight)`
+/// pairs; tenants absent from the list weigh 1.
+pub type TenantWeights = Vec<(TenantId, f64)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(depth: usize, online: usize, busy: usize, pending: usize) -> ScaleObservation {
+        ScaleObservation {
+            now_ms: 1000.0,
+            queue_depth: depth,
+            online_chips: online,
+            busy_chips: busy,
+            pending_up: pending,
+            min_chips: 1,
+            max_chips: 8,
+        }
+    }
+
+    #[test]
+    fn static_always_holds() {
+        let mut p = StaticScale;
+        assert_eq!(p.decide(&obs(500, 2, 2, 0)), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs(0, 2, 0, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn queue_depth_hysteresis() {
+        let mut p = QueueDepthScale::new(8, 1);
+        // Deep backlog: scale up, more for deeper queues.
+        assert_eq!(p.decide(&obs(16, 2, 2, 0)), ScaleDecision::Up(1));
+        assert_eq!(p.decide(&obs(64, 2, 2, 0)), ScaleDecision::Up(4));
+        // Inside the dead band: hold.
+        assert_eq!(p.decide(&obs(6, 2, 2, 0)), ScaleDecision::Hold);
+        // Empty queue with an idle chip: shrink by one.
+        assert_eq!(p.decide(&obs(0, 2, 1, 0)), ScaleDecision::Down(1));
+        // Empty queue but all chips busy: hold (they are still needed).
+        assert_eq!(p.decide(&obs(0, 2, 2, 0)), ScaleDecision::Hold);
+        // Pending spin-ups suppress both re-up (counted in committed)
+        // and down decisions.
+        assert_eq!(p.decide(&obs(0, 2, 1, 1)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn queue_depth_rejects_empty_band() {
+        QueueDepthScale::new(4, 4);
+    }
+
+    #[test]
+    fn utilization_band() {
+        let mut p = UtilizationTargetScale::new(0.3, 0.9);
+        // Saturated with backlog: up.
+        assert_eq!(p.decide(&obs(10, 2, 2, 0)), ScaleDecision::Up(2));
+        // Saturated, nothing queued: the pool is exactly right.
+        assert_eq!(p.decide(&obs(0, 2, 2, 0)), ScaleDecision::Hold);
+        // Cold with an idle chip: down.
+        assert_eq!(p.decide(&obs(0, 4, 1, 0)), ScaleDecision::Down(1));
+        // In-band: hold.
+        assert_eq!(p.decide(&obs(0, 4, 2, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn kind_builds_matching_policy() {
+        for (kind, name) in [
+            (ScaleKind::Static, "static"),
+            (
+                ScaleKind::QueueDepth {
+                    up_depth: 4,
+                    down_depth: 0,
+                },
+                "queue-depth",
+            ),
+            (
+                ScaleKind::UtilizationTarget {
+                    low: 0.2,
+                    high: 0.8,
+                },
+                "util-target",
+            ),
+        ] {
+            assert_eq!(kind.build().name(), name);
+            assert_eq!(kind.name(), name);
+        }
+    }
+}

@@ -1,23 +1,32 @@
 //! The fleet simulator: admission → queue → batch → chip pool, driven by
-//! the event engine.
+//! the event engine. The pool itself is elastic: an optional
+//! [`AutoscaleConfig`] lets `ScaleTick` / `ChipUp` / `ChipDown` events
+//! vary the online chip count mid-run between configured bounds.
+
+use std::collections::BTreeMap;
 
 use crate::arrivals::ArrivalSource;
 use crate::events::{Event, EventQueue};
 use crate::metrics::{summarize, FleetSummary, RunAccumulators};
 use crate::policy::{BatchPolicy, PolicyKind};
-use crate::request::{Request, RequestClass, RequestRecord};
+use crate::request::{Request, RequestClass, RequestRecord, TenantId};
+use crate::scale::{AutoscaleConfig, ScaleDecision, ScaleObservation, TenantWeights};
 use zkphire_core::costdb::CostModel;
 
 /// Deployment and policy knobs for one simulation.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
-    /// Number of zkPHIRE chips in the pool.
+    /// Chips in the pool. With autoscaling enabled this is the
+    /// *initial* online count (clamped to the autoscaler's bounds);
+    /// without it, the fixed pool size.
     pub chips: usize,
     /// Batching policy.
     pub policy: PolicyKind,
     /// Maximum requests per batch.
     pub max_batch: usize,
-    /// Admission cap on queued requests (`None` = unbounded).
+    /// Admission cap on queued requests (`None` = unbounded). A cap of
+    /// zero rejects every request: nothing may wait, not even with
+    /// idle chips.
     pub queue_capacity: Option<usize>,
     /// Per-batch reconfiguration overhead (ms): program load + FSM
     /// setup when a chip switches to a batch (§III-E program swap).
@@ -27,12 +36,17 @@ pub struct FleetConfig {
     pub deadline_factor: f64,
     /// Additive deadline slack (ms).
     pub deadline_slack_ms: f64,
+    /// Reactive pool sizing; `None` keeps the pool fixed at `chips`.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Per-tenant service weights for [`PolicyKind::WeightedFair`] and
+    /// the Jain fairness index; tenants absent here weigh 1.
+    pub tenant_weights: TenantWeights,
 }
 
 impl FleetConfig {
     /// A sensible default deployment: `chips` chips, size-class
     /// batching of up to 8, 1 ms reconfiguration, deadlines at
-    /// 5× isolated latency + 50 ms.
+    /// 5× isolated latency + 50 ms, fixed pool.
     pub fn new(chips: usize) -> Self {
         Self {
             chips,
@@ -42,6 +56,8 @@ impl FleetConfig {
             batch_overhead_ms: 1.0,
             deadline_factor: 5.0,
             deadline_slack_ms: 50.0,
+            autoscale: None,
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -57,9 +73,22 @@ impl FleetConfig {
         self
     }
 
-    /// Sets the admission cap (builder style).
+    /// Sets the admission cap (builder style). A capacity of zero
+    /// rejects all traffic.
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = Some(cap);
+        self
+    }
+
+    /// Enables reactive pool sizing (builder style).
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Sets per-tenant service weights (builder style).
+    pub fn with_tenant_weights(mut self, weights: TenantWeights) -> Self {
+        self.tenant_weights = weights;
         self
     }
 }
@@ -73,6 +102,8 @@ pub enum TraceEntry {
         time_ms: f64,
         /// Request id.
         id: u64,
+        /// Submitting tenant.
+        tenant: TenantId,
     },
     /// A request was refused at admission.
     Rejected {
@@ -80,6 +111,8 @@ pub enum TraceEntry {
         time_ms: f64,
         /// Request id.
         id: u64,
+        /// Submitting tenant.
+        tenant: TenantId,
     },
     /// A batch started on a chip.
     Dispatched {
@@ -101,6 +134,20 @@ pub enum TraceEntry {
         /// Batch size.
         size: usize,
     },
+    /// The autoscaler brought a chip online.
+    ChipUp {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+    },
+    /// The autoscaler retired a chip.
+    ChipDown {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+    },
 }
 
 /// Everything a run produces.
@@ -110,22 +157,45 @@ pub struct SimReport {
     pub summary: FleetSummary,
     /// Per-request completion records, in completion order.
     pub records: Vec<RequestRecord>,
-    /// The full decision trace (admissions, dispatches, completions).
+    /// The full decision trace (admissions, dispatches, completions,
+    /// chip power transitions).
     pub trace: Vec<TraceEntry>,
     /// FNV-1a hash of the trace — two runs are identical iff equal.
     pub trace_hash: u64,
 }
 
+/// Lifecycle of one pool slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChipState {
+    /// Powered off; invisible to dispatch.
+    Off,
+    /// Spin-up decided; comes online at its `ChipUp` event.
+    Pending,
+    /// Online and accepting batches.
+    Up,
+    /// Idle chip selected for decommission; its `ChipDown` event is in
+    /// flight and dispatch must not grab it.
+    Retiring,
+}
+
 struct Chip {
+    state: ChipState,
     busy: bool,
     busy_ms: f64,
     batch: Vec<Request>,
     batch_start_ms: f64,
 }
 
+impl Chip {
+    fn dispatchable(&self) -> bool {
+        self.state == ChipState::Up && !self.busy
+    }
+}
+
 /// Runs the discrete-event simulation to completion: all arrivals from
-/// `source` flow through admission and batching onto `cfg.chips`
-/// simulated chips whose service times come from `cost`.
+/// `source` flow through admission and batching onto the simulated chip
+/// pool, whose service times come from `cost` and whose size the
+/// optional autoscaler varies within its bounds.
 pub fn simulate<S: ArrivalSource>(
     cfg: &FleetConfig,
     source: &mut S,
@@ -133,37 +203,56 @@ pub fn simulate<S: ArrivalSource>(
 ) -> SimReport {
     assert!(cfg.chips > 0, "fleet of zero chips");
     assert!(cfg.batch_overhead_ms >= 0.0);
+    let (slots, initial_online) = match &cfg.autoscale {
+        Some(a) => (a.max_chips, cfg.chips.clamp(a.min_chips, a.max_chips)),
+        None => (cfg.chips, cfg.chips),
+    };
     let mut queue = EventQueue::new();
-    let mut policy = cfg.policy.build();
-    let mut chips: Vec<Chip> = (0..cfg.chips)
-        .map(|_| Chip {
+    let mut policy = cfg.policy.build_with(&cfg.tenant_weights);
+    let mut scaler = cfg.autoscale.as_ref().map(|a| a.kind.build());
+    let mut chips: Vec<Chip> = (0..slots)
+        .map(|i| Chip {
+            state: if i < initial_online {
+                ChipState::Up
+            } else {
+                ChipState::Off
+            },
             busy: false,
             busy_ms: 0.0,
             batch: Vec::new(),
             batch_start_ms: 0.0,
         })
         .collect();
+    let mut provisioned = initial_online;
+    let mut pending_up = 0usize;
+    let mut last_scale_action_ms = f64::NEG_INFINITY;
     let mut records: Vec<RequestRecord> = Vec::new();
     let mut trace: Vec<TraceEntry> = Vec::new();
     let mut acc = RunAccumulators {
-        busy_ms: vec![0.0; cfg.chips],
+        busy_ms: vec![0.0; slots],
         depth_time_integral: 0.0,
         max_queue_depth: 0,
         batches: 0,
         rejected: 0,
+        rejected_by_tenant: BTreeMap::new(),
         makespan_ms: 0.0,
+        chip_time_integral_ms: 0.0,
+        peak_chips: initial_online,
+        scale_ups: 0,
+        scale_downs: 0,
     };
 
     // One arrival in flight at a time; the request body is parked here
     // until its event pops.
     let mut next_id: u64 = 0;
     let prime = |source: &mut S, queue: &mut EventQueue, next_id: &mut u64| -> Option<Request> {
-        source.next_arrival().map(|(t, class)| {
+        source.next_arrival().map(|(t, class, tenant)| {
             let id = *next_id;
             *next_id += 1;
             queue.push(t, Event::Arrival(id));
             Request {
                 id,
+                tenant,
                 class,
                 arrival_ms: t,
                 // Deadline filled at admission (needs the cost model).
@@ -172,10 +261,16 @@ pub fn simulate<S: ArrivalSource>(
         })
     };
     let mut pending: Option<Request> = prime(source, &mut queue, &mut next_id);
+    if let Some(a) = &cfg.autoscale {
+        if pending.is_some() {
+            queue.push(a.interval_ms, Event::ScaleTick);
+        }
+    }
 
     let mut last_time = 0.0;
     while let Some((now, event)) = queue.pop() {
         acc.depth_time_integral += policy.depth() as f64 * (now - last_time);
+        acc.chip_time_integral_ms += provisioned as f64 * (now - last_time);
         last_time = now;
         acc.makespan_ms = now;
         match event {
@@ -188,9 +283,11 @@ pub fn simulate<S: ArrivalSource>(
                 let full = cfg.queue_capacity.is_some_and(|cap| policy.depth() >= cap);
                 if full {
                     acc.rejected += 1;
+                    *acc.rejected_by_tenant.entry(req.tenant).or_insert(0) += 1;
                     trace.push(TraceEntry::Rejected {
                         time_ms: now,
                         id: req.id,
+                        tenant: req.tenant,
                     });
                 } else {
                     req.deadline_ms = now
@@ -199,6 +296,7 @@ pub fn simulate<S: ArrivalSource>(
                     trace.push(TraceEntry::Admitted {
                         time_ms: now,
                         id: req.id,
+                        tenant: req.tenant,
                     });
                     policy.push(req);
                     acc.max_queue_depth = acc.max_queue_depth.max(policy.depth());
@@ -210,6 +308,7 @@ pub fn simulate<S: ArrivalSource>(
                 for r in c.batch.drain(..) {
                     records.push(RequestRecord {
                         id: r.id,
+                        tenant: r.tenant,
                         class: r.class,
                         arrival_ms: r.arrival_ms,
                         deadline_ms: r.deadline_ms,
@@ -225,6 +324,66 @@ pub fn simulate<S: ArrivalSource>(
                     chip,
                     size,
                 });
+            }
+            Event::ChipUp { chip } => {
+                let c = &mut chips[chip];
+                debug_assert_eq!(c.state, ChipState::Pending);
+                c.state = ChipState::Up;
+                pending_up -= 1;
+                acc.scale_ups += 1;
+                trace.push(TraceEntry::ChipUp { time_ms: now, chip });
+            }
+            Event::ChipDown { chip } => {
+                let c = &mut chips[chip];
+                debug_assert_eq!(c.state, ChipState::Retiring);
+                debug_assert!(!c.busy, "retiring a busy chip");
+                c.state = ChipState::Off;
+                provisioned -= 1;
+                acc.scale_downs += 1;
+                trace.push(TraceEntry::ChipDown { time_ms: now, chip });
+            }
+            Event::ScaleTick => {
+                let a = cfg.autoscale.as_ref().expect("tick without autoscaler");
+                let scaler = scaler.as_mut().expect("tick without autoscaler");
+                let online = chips.iter().filter(|c| c.state == ChipState::Up).count();
+                let busy = chips
+                    .iter()
+                    .filter(|c| c.state == ChipState::Up && c.busy)
+                    .count();
+                let obs = ScaleObservation {
+                    now_ms: now,
+                    queue_depth: policy.depth(),
+                    online_chips: online,
+                    busy_chips: busy,
+                    pending_up,
+                    min_chips: a.min_chips,
+                    max_chips: a.max_chips,
+                };
+                if now - last_scale_action_ms >= a.cooldown_ms {
+                    let acted = apply_decision(
+                        scaler.decide(&obs),
+                        a,
+                        &obs,
+                        &mut chips,
+                        &mut queue,
+                        &mut provisioned,
+                        &mut pending_up,
+                        &mut acc,
+                    );
+                    if acted {
+                        last_scale_action_ms = now;
+                    }
+                }
+                // Keep ticking only while the system still has work:
+                // arrivals to come, queued or running batches, or
+                // chips mid-spin-up.
+                let work_remains = pending.is_some()
+                    || policy.depth() > 0
+                    || pending_up > 0
+                    || chips.iter().any(|c| c.busy);
+                if work_remains {
+                    queue.push(now + a.interval_ms, Event::ScaleTick);
+                }
             }
         }
         dispatch(
@@ -242,12 +401,74 @@ pub fn simulate<S: ArrivalSource>(
         assert!(!c.busy, "chip {i} still busy at drain");
         acc.busy_ms[i] = c.busy_ms;
     }
+    assert_eq!(policy.depth(), 0, "requests stranded in queue at drain");
     let trace_hash = hash_trace(&trace);
     SimReport {
-        summary: summarize(&records, &acc),
+        summary: summarize(&records, &acc, &cfg.tenant_weights),
         records,
         trace,
         trace_hash,
+    }
+}
+
+/// Realizes one autoscaler decision, clamped to the pool bounds and to
+/// the chips actually available. Returns whether anything changed.
+#[allow(clippy::too_many_arguments)]
+fn apply_decision(
+    decision: ScaleDecision,
+    a: &AutoscaleConfig,
+    obs: &ScaleObservation,
+    chips: &mut [Chip],
+    queue: &mut EventQueue,
+    provisioned: &mut usize,
+    pending_up: &mut usize,
+    acc: &mut RunAccumulators,
+) -> bool {
+    let now = queue.now();
+    match decision {
+        ScaleDecision::Hold => false,
+        ScaleDecision::Up(want) => {
+            let headroom = a.max_chips.saturating_sub(obs.committed_chips());
+            let add = want.min(headroom);
+            let mut added = 0;
+            for (i, c) in chips.iter_mut().enumerate() {
+                if added == add {
+                    break;
+                }
+                if c.state == ChipState::Off {
+                    c.state = ChipState::Pending;
+                    *provisioned += 1;
+                    *pending_up += 1;
+                    queue.push(now + a.spin_up_ms, Event::ChipUp { chip: i });
+                    added += 1;
+                }
+            }
+            acc.peak_chips = acc.peak_chips.max(*provisioned);
+            added > 0
+        }
+        ScaleDecision::Down(want) => {
+            // Only idle online chips retire, and never below the floor.
+            // The floor counts *online* chips only (not spin-ups in
+            // flight), so the serving pool itself never dips under
+            // `min_chips` — an invariant the property suite replays
+            // from the trace.
+            let idle = obs.online_chips - obs.busy_chips;
+            let above_floor = obs.online_chips.saturating_sub(a.min_chips);
+            let drop = want.min(idle).min(above_floor);
+            let mut dropped = 0;
+            // Highest index first, keeping low slots stable/hot.
+            for (i, c) in chips.iter_mut().enumerate().rev() {
+                if dropped == drop {
+                    break;
+                }
+                if c.state == ChipState::Up && !c.busy {
+                    c.state = ChipState::Retiring;
+                    queue.push(now, Event::ChipDown { chip: i });
+                    dropped += 1;
+                }
+            }
+            dropped > 0
+        }
     }
 }
 
@@ -265,7 +486,7 @@ fn dispatch(
         if policy.depth() == 0 {
             return;
         }
-        let Some(chip_idx) = chips.iter().position(|c| !c.busy) else {
+        let Some(chip_idx) = chips.iter().position(Chip::dispatchable) else {
             return;
         };
         let batch = policy
@@ -303,15 +524,25 @@ fn hash_trace(trace: &[TraceEntry]) -> u64 {
     };
     for e in trace {
         match *e {
-            TraceEntry::Admitted { time_ms, id } => {
+            TraceEntry::Admitted {
+                time_ms,
+                id,
+                tenant,
+            } => {
                 mix(1);
                 mix(time_ms.to_bits());
                 mix(id);
+                mix(u64::from(tenant));
             }
-            TraceEntry::Rejected { time_ms, id } => {
+            TraceEntry::Rejected {
+                time_ms,
+                id,
+                tenant,
+            } => {
                 mix(2);
                 mix(time_ms.to_bits());
                 mix(id);
+                mix(u64::from(tenant));
             }
             TraceEntry::Dispatched {
                 time_ms,
@@ -334,6 +565,16 @@ fn hash_trace(trace: &[TraceEntry]) -> u64 {
                 mix(time_ms.to_bits());
                 mix(chip as u64);
                 mix(size as u64);
+            }
+            TraceEntry::ChipUp { time_ms, chip } => {
+                mix(5);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
+            }
+            TraceEntry::ChipDown { time_ms, chip } => {
+                mix(6);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
             }
         }
     }
@@ -370,8 +611,9 @@ pub fn uniform_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrivals::PoissonSource;
-    use crate::mix::WorkloadMix;
+    use crate::arrivals::{OnOffSource, PoissonSource};
+    use crate::mix::{TenantMix, TenantProfile, WorkloadMix};
+    use crate::scale::ScaleKind;
     use zkphire_core::protocol::Gate;
 
     fn small_run(policy: PolicyKind, seed: u64) -> SimReport {
@@ -382,12 +624,35 @@ mod tests {
         simulate(&cfg, &mut source, &mut cost)
     }
 
+    fn two_tenant_mix() -> TenantMix {
+        TenantMix::new(vec![
+            TenantProfile::new(1, 2.0, WorkloadMix::table_vii_jellyfish(18)),
+            TenantProfile::new(2, 1.0, WorkloadMix::table_vii_jellyfish(20)),
+        ])
+    }
+
+    fn autoscaled_run(kind: ScaleKind, seed: u64) -> SimReport {
+        let mut cost = CostModel::exemplar();
+        let mut source = OnOffSource::new(900.0, 400.0, 1_200.0, 6_000.0, two_tenant_mix(), seed);
+        let cfg = FleetConfig::new(1)
+            .with_policy(PolicyKind::WeightedFair)
+            .with_tenant_weights(vec![(1, 2.0), (2, 1.0)])
+            .with_autoscale(
+                AutoscaleConfig::new(kind, 1, 6)
+                    .with_spin_up_ms(50.0)
+                    .with_cooldown_ms(100.0)
+                    .with_interval_ms(25.0),
+            );
+        simulate(&cfg, &mut source, &mut cost)
+    }
+
     #[test]
     fn completes_all_admitted_requests() {
         for policy in [
             PolicyKind::Fifo,
             PolicyKind::SizeClass,
             PolicyKind::EarliestDeadline,
+            PolicyKind::WeightedFair,
         ] {
             let r = small_run(policy, 1);
             assert!(r.summary.completed > 0, "{policy:?}");
@@ -418,6 +683,21 @@ mod tests {
         let r = simulate(&cfg, &mut source, &mut cost);
         assert!(r.summary.rejected > 0);
         assert!(r.summary.max_queue_depth <= 4);
+    }
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        // Capacity 0 means "nothing may wait": every request bounces at
+        // admission even while chips sit idle. Pinned by test so later
+        // admission rewrites cannot silently flip the semantics.
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 16);
+        let mut source = uniform_trace(class, 50, 100.0);
+        let cfg = FleetConfig::new(4).with_queue_capacity(0);
+        let r = simulate(&cfg, &mut source, &mut cost);
+        assert_eq!(r.summary.completed, 0);
+        assert_eq!(r.summary.rejected, 50);
+        assert!(r.records.is_empty());
     }
 
     #[test]
@@ -467,5 +747,115 @@ mod tests {
         let two = simulate_poisson_fleet(2, 120.0, 4_000.0, PolicyKind::SizeClass, 11);
         let eight = simulate_poisson_fleet(8, 120.0, 4_000.0, PolicyKind::SizeClass, 11);
         assert!(eight.summary.p99_latency_ms <= two.summary.p99_latency_ms);
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic_and_bounded() {
+        for kind in [
+            ScaleKind::QueueDepth {
+                up_depth: 4,
+                down_depth: 0,
+            },
+            ScaleKind::UtilizationTarget {
+                low: 0.3,
+                high: 0.95,
+            },
+        ] {
+            let a = autoscaled_run(kind, 31);
+            let b = autoscaled_run(kind, 31);
+            assert_eq!(a.trace, b.trace, "{kind:?} trace diverged");
+            assert_eq!(a.trace_hash, b.trace_hash);
+            // The pool actually moved.
+            assert!(a.summary.scale_ups > 0, "{kind:?} never scaled up");
+            assert!(a.summary.scale_downs > 0, "{kind:?} never scaled down");
+            // Bounds hold at every instant: replay the power trace.
+            let mut online = 1i64; // initial = cfg.chips clamped to [1, 6]
+            for e in &a.trace {
+                match e {
+                    TraceEntry::ChipUp { .. } => online += 1,
+                    TraceEntry::ChipDown { .. } => online -= 1,
+                    _ => {}
+                }
+                assert!((1..=6).contains(&online), "{kind:?} pool left [1,6]");
+            }
+            assert!(a.summary.peak_chips <= 6);
+            assert!(a.summary.mean_chips >= 1.0 - 1e-9);
+            assert!(a.summary.mean_chips <= 6.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn static_autoscaler_matches_fixed_pool_metrics() {
+        let mut cost = CostModel::exemplar();
+        let mix = WorkloadMix::table_vii_jellyfish(19);
+        let mut src_a = PoissonSource::new(150.0, 3_000.0, mix.clone(), 9);
+        let fixed = simulate(&FleetConfig::new(3), &mut src_a, &mut cost);
+        let mut src_b = PoissonSource::new(150.0, 3_000.0, mix, 9);
+        let scaled_cfg =
+            FleetConfig::new(3).with_autoscale(AutoscaleConfig::new(ScaleKind::Static, 3, 3));
+        let auto = simulate(&scaled_cfg, &mut src_b, &mut cost);
+        // Static autoscaling must not change what requests experience.
+        assert_eq!(fixed.summary.completed, auto.summary.completed);
+        assert_eq!(auto.summary.scale_ups, 0);
+        assert_eq!(auto.summary.scale_downs, 0);
+        assert_eq!(fixed.summary.p99_latency_ms, auto.summary.p99_latency_ms);
+        // The autoscaled run's makespan can run up to one tick interval
+        // past the last completion, so chip-time agrees to 3 chips ×
+        // 100 ms of slack.
+        let slack = 3.0 * 0.1;
+        assert!(
+            (fixed.summary.chip_seconds - auto.summary.chip_seconds).abs() <= slack + 1e-9,
+            "fixed {} vs auto {}",
+            fixed.summary.chip_seconds,
+            auto.summary.chip_seconds
+        );
+    }
+
+    #[test]
+    fn weighted_fair_protects_light_tenant_from_flood() {
+        // Noisy-neighbor isolation: tenant 1 floods an overloaded chip
+        // at 9× tenant 2's rate. Under tenant-blind FIFO the light
+        // tenant queues behind the flood; deficit round-robin must keep
+        // its p99 far lower without losing any requests.
+        let mut cost = CostModel::exemplar();
+        let base = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18));
+        // 9× the traffic but the same service entitlement.
+        let tm = TenantMix::new(vec![
+            TenantProfile::new(1, 9.0, base.clone()).with_service_weight(1.0),
+            TenantProfile::new(2, 1.0, base),
+        ]);
+        let per_proof = cost.proof_ms(Gate::Jellyfish, 18);
+        let rate = 2.0 * 1000.0 / per_proof; // 2× one chip's capacity
+        let mut run = |policy: PolicyKind| {
+            let mut source = PoissonSource::new(rate, 4_000.0, tm.clone(), 77);
+            let cfg = FleetConfig::new(1)
+                .with_policy(policy)
+                .with_max_batch(4)
+                .with_tenant_weights(tm.service_weights());
+            simulate(&cfg, &mut source, &mut cost)
+        };
+        let blind = run(PolicyKind::Fifo);
+        let fair = run(PolicyKind::WeightedFair);
+        // Same workload either way; nothing lost.
+        assert_eq!(blind.summary.completed, fair.summary.completed);
+        let light = |r: &SimReport| {
+            r.summary
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == 2)
+                .expect("tenant 2 completed work")
+                .p99_latency_ms
+        };
+        let blind_p99 = light(&blind);
+        let fair_p99 = light(&fair);
+        assert!(
+            fair_p99 < 0.5 * blind_p99,
+            "fair {fair_p99} vs blind {blind_p99}"
+        );
+        // Per-tenant completions sum to the global count.
+        for r in [&blind, &fair] {
+            let sum: u64 = r.summary.per_tenant.iter().map(|t| t.completed).sum();
+            assert_eq!(sum, r.summary.completed);
+        }
     }
 }

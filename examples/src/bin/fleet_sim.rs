@@ -1,15 +1,20 @@
 //! `fleet_sim` — operate a zkPHIRE proving service in simulation.
 //!
 //! Walks one scenario end to end: steady Poisson traffic, then a bursty
-//! ON/OFF front, on fleets of growing size, and finally asks the DSE
-//! layer how many chips a 50 ms p99 SLO actually needs.
+//! ON/OFF front, on fleets of growing size; asks the DSE layer how many
+//! chips a 50 ms p99 SLO actually needs; then lets a reactive
+//! autoscaler ride the bursts and shows what weighted-fair batching
+//! buys a light tenant sharing the fleet with a flooder.
 //!
 //! Run with `cargo run --release -p zkphire-examples --bin fleet_sim`.
 
 use zkphire_core::costdb::CostModel;
 use zkphire_core::system::ZkphireConfig;
-use zkphire_dse::{size_fleet, FleetSlo};
-use zkphire_fleet::{simulate, FleetConfig, OnOffSource, PoissonSource, PolicyKind, WorkloadMix};
+use zkphire_dse::{compare_provisioning, size_fleet, BurstScenario, FleetSlo};
+use zkphire_fleet::{
+    simulate, FleetConfig, OnOffSource, PoissonSource, PolicyKind, ScaleKind, TenantMix,
+    TenantProfile, WorkloadMix,
+};
 
 fn main() {
     let horizon_ms = 5_000.0;
@@ -76,5 +81,78 @@ fn main() {
             ),
             None => println!("{rate:6.0} req/s -> infeasible within 64 chips"),
         }
+    }
+
+    // 4. Reactive autoscaling on the bursty front: same p99 discipline,
+    //    far fewer chip-seconds than the static peak sizing.
+    println!("\n— autoscaling vs static sizing, ON/OFF bursts, p99 <= 150 ms —");
+    let scenario = BurstScenario {
+        on_rate_rps: 1800.0,
+        mean_on_ms: 400.0,
+        mean_off_ms: 1200.0,
+        horizon_ms: 10_000.0,
+        seed,
+    };
+    let reactive = [
+        ScaleKind::QueueDepth {
+            up_depth: 4,
+            down_depth: 0,
+        },
+        ScaleKind::UtilizationTarget {
+            low: 0.3,
+            high: 0.9,
+        },
+    ];
+    match compare_provisioning(
+        &chip,
+        &TenantMix::single(mix.clone()),
+        PolicyKind::SizeClass,
+        &scenario,
+        150.0,
+        32,
+        &reactive,
+        50.0,
+    ) {
+        Some(cmp) => {
+            for r in &cmp.rows {
+                println!(
+                    "{:12} mean {:4.2} / peak {:2} chips  {:6.1} chip-s  p99 {:7.2} ms  SLO {}",
+                    r.label,
+                    r.summary.mean_chips,
+                    r.summary.peak_chips,
+                    r.chip_seconds,
+                    r.summary.p99_latency_ms,
+                    if r.meets_slo { "met" } else { "MISSED" },
+                );
+            }
+        }
+        None => println!("static sizing infeasible within 32 chips"),
+    }
+
+    // 5. Multi-tenant fairness: a flooding wallet fleet vs a light
+    //    rollup tenant on the same two chips.
+    println!("\n— noisy neighbor: tenant 1 floods 9:1; tenant 2's p99, 2 chips —");
+    let flood = TenantMix::new(vec![
+        TenantProfile::new(1, 9.0, mix.clone()).with_service_weight(1.0),
+        TenantProfile::new(2, 1.0, mix.clone()),
+    ]);
+    for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+        let mut source = OnOffSource::new(1500.0, 800.0, 800.0, 8_000.0, flood.clone(), seed);
+        let cfg = FleetConfig::new(2)
+            .with_policy(policy)
+            .with_tenant_weights(flood.service_weights());
+        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        let light = s
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == 2)
+            .expect("light tenant served");
+        println!(
+            "{:14} tenant-2 p50 {:7.2} ms  p99 {:7.2} ms  (all-tenant p99 {:7.2} ms)",
+            policy.name(),
+            light.p50_latency_ms,
+            light.p99_latency_ms,
+            s.p99_latency_ms
+        );
     }
 }

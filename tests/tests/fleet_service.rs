@@ -151,6 +151,96 @@ fn end_to_end_utilization_in_unit_interval() {
 }
 
 #[test]
+fn quantile_edge_cases() {
+    // Single element: every valid q returns it.
+    for q in [1e-9, 0.5, 0.99, 1.0] {
+        assert_eq!(quantile_sorted(&[42.0], q), 42.0);
+        assert_eq!(quantile(&[42.0], q), 42.0);
+    }
+    // q = 1 is the max; q just above 0 is the min.
+    let s = [1.0, 2.0, 3.0, 4.0];
+    assert_eq!(quantile_sorted(&s, 1.0), 4.0);
+    assert_eq!(quantile_sorted(&s, 1e-12), 1.0);
+    // NaN-free guarantee: finite input yields finite output.
+    let mut rng = SplitMix64::new(3);
+    let vals: Vec<f64> = (0..257).map(|_| rng.next_f64() * 1e6).collect();
+    for q in [0.001, 0.5, 0.95, 0.99, 1.0] {
+        assert!(quantile(&vals, q).is_finite());
+    }
+}
+
+#[test]
+#[should_panic(expected = "empty")]
+fn quantile_empty_sample_panics() {
+    quantile_sorted(&[], 0.5);
+}
+
+#[test]
+#[should_panic(expected = "outside")]
+fn quantile_q_zero_panics() {
+    quantile(&[1.0, 2.0], 0.0);
+}
+
+#[test]
+#[should_panic(expected = "outside")]
+fn quantile_q_above_one_panics() {
+    quantile(&[1.0, 2.0], 1.0000001);
+}
+
+#[test]
+fn zero_completion_run_has_finite_summary() {
+    // A source with no arrivals: the summary must be all zeros, never
+    // NaN, and quantiles must not be consulted on the empty sample.
+    let mut cost = CostModel::exemplar();
+    let mut source = TraceSource::new(Vec::new());
+    let r = simulate(&FleetConfig::new(2), &mut source, &mut cost);
+    let s = &r.summary;
+    assert_eq!(s.completed, 0);
+    assert_eq!(s.rejected, 0);
+    assert!(r.records.is_empty() && r.trace.is_empty());
+    for v in [
+        s.throughput_rps,
+        s.mean_latency_ms,
+        s.p50_latency_ms,
+        s.p95_latency_ms,
+        s.p99_latency_ms,
+        s.max_latency_ms,
+        s.mean_utilization,
+        s.mean_queue_depth,
+        s.mean_batch_size,
+        s.deadline_miss_rate,
+        s.chip_seconds,
+        s.mean_chips,
+        s.jain_fairness,
+    ] {
+        assert!(v.is_finite(), "non-finite summary field {v}");
+        assert!(v >= 0.0);
+    }
+    assert!(s.per_tenant.is_empty());
+    assert_eq!(s.jain_fairness, 1.0);
+}
+
+#[test]
+fn all_rejected_run_has_finite_summary() {
+    // Capacity 0 sheds everything: completions are zero but rejections
+    // and per-tenant slices must still be populated and NaN-free.
+    let mut cost = CostModel::exemplar();
+    let class = RequestClass::new(Gate::Jellyfish, 16);
+    let mut source = TraceSource::with_tenants(vec![(0.0, class, 1), (1.0, class, 2)]);
+    let cfg = FleetConfig::new(1).with_queue_capacity(0);
+    let r = simulate(&cfg, &mut source, &mut cost);
+    assert_eq!(r.summary.completed, 0);
+    assert_eq!(r.summary.rejected, 2);
+    assert_eq!(r.summary.per_tenant.len(), 2);
+    for t in &r.summary.per_tenant {
+        assert_eq!(t.completed, 0);
+        assert_eq!(t.rejected, 1);
+        assert!(t.p99_latency_ms == 0.0 && !t.mean_latency_ms.is_nan());
+    }
+    assert!(r.summary.jain_fairness == 1.0);
+}
+
+#[test]
 fn trace_driven_replay_is_exact() {
     // A hand-built trace through a 1-chip FIFO fleet: service times are
     // the memoized protocol costs, so finish times are predictable.

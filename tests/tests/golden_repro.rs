@@ -1,0 +1,75 @@
+//! Golden determinism regression for the fleet-facing repro
+//! experiments: `repro fleet` and `repro autoscale` must be pure
+//! functions of their fixed seeds. Two same-process runs are compared
+//! byte for byte, and a small checked-in summary
+//! (`tests/golden/repro_summary.txt`) pins the exact output across
+//! commits so CI catches determinism drift — a changed RNG draw order,
+//! a reordered event tie-break, a float reassociation — even when each
+//! individual run is still self-consistent.
+//!
+//! The golden file was generated on Linux/glibc (the CI platform). The
+//! simulator itself is IEEE-754-deterministic, but `f64::ln` (used for
+//! exponential inter-arrival draws) goes through the platform's libm,
+//! which may differ in the last ulp elsewhere; if the golden check
+//! fails on another OS while `repro_runs_twice_byte_identical` passes,
+//! suspect the platform before the simulator.
+
+use zkphire_bench::experiments;
+
+const EXPERIMENTS: [&str; 2] = ["fleet", "autoscale"];
+
+/// FNV-1a over the experiment's full text output.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The compact summary format the golden file stores: one hash line
+/// per experiment plus every embedded trace-hash line verbatim.
+fn summarize_outputs() -> String {
+    let mut out = String::new();
+    for name in EXPERIMENTS {
+        let text = experiments::run(name).expect("registered experiment");
+        out.push_str(&format!(
+            "{name} lines={} fnv1a={:016x}\n",
+            text.lines().count(),
+            fnv1a(&text)
+        ));
+        for line in text.lines().filter(|l| l.starts_with("Trace hash")) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn repro_runs_twice_byte_identical() {
+    for name in EXPERIMENTS {
+        let a = experiments::run(name).expect("registered experiment");
+        let b = experiments::run(name).expect("registered experiment");
+        assert_eq!(a, b, "`repro {name}` diverged between two runs");
+        assert!(!a.is_empty());
+    }
+}
+
+#[test]
+fn repro_outputs_match_checked_in_golden() {
+    let golden = include_str!("../golden/repro_summary.txt");
+    let produced = summarize_outputs();
+    assert_eq!(
+        produced, golden,
+        "repro output drifted from tests/golden/repro_summary.txt.\n\
+         If the change is intentional (new experiment content, model \n\
+         change), regenerate the golden file by writing the left-hand \n\
+         string above into it. If `repro_runs_twice_byte_identical` \n\
+         also fails, a determinism regression slipped into the fleet \n\
+         DES or its cost model; if it passes and you are not on \n\
+         Linux/glibc, this is likely a platform libm difference in \n\
+         f64::ln (see module docs)."
+    );
+}

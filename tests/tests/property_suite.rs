@@ -1,6 +1,6 @@
 //! Property-based integration tests: randomized structures exercised
 //! across crate boundaries (expression language → IR → prover → verifier,
-//! and IR → scheduler/simulator).
+//! IR → scheduler/simulator, and traffic → fleet DES → metrics).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -118,5 +118,120 @@ proptest! {
             g = g.fix_first_variable(r);
         }
         prop_assert_eq!(g.evals()[0], f.evaluate(&point));
+    }
+}
+
+// --- fleet DES properties: random ON/OFF traffic through the full
+// admission → fairness → autoscaled-pool pipeline ---
+
+use zkphire_core::costdb::CostModel;
+use zkphire_fleet::{
+    simulate, AutoscaleConfig, FleetConfig, OnOffSource, PolicyKind, ScaleKind, TenantMix,
+    TenantProfile, TraceEntry, WorkloadMix,
+};
+
+/// A randomized two-tenant burst source; runs short enough that each
+/// property case finishes in milliseconds.
+fn burst_source(seed: u64) -> (TenantMix, OnOffSource) {
+    let tm = TenantMix::new(vec![
+        TenantProfile::new(1, 2.0, WorkloadMix::table_vii_jellyfish(18)),
+        TenantProfile::new(2, 1.0, WorkloadMix::table_vii_jellyfish(20)),
+    ]);
+    let source = OnOffSource::new(600.0, 300.0, 600.0, 2_500.0, tm.clone(), seed);
+    (tm, source)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation under any policy, queue bound and burst seed:
+    /// every arrival is admitted or rejected, every admission is
+    /// served exactly once (the sim drains, so in-flight is zero at
+    /// the end), and the per-tenant slices tile the global counts.
+    #[test]
+    fn fleet_conserves_requests(seed in 0u64..400, cap in 1usize..24, chips in 1usize..4, pol in 0usize..4) {
+        let policy = [
+            PolicyKind::Fifo,
+            PolicyKind::SizeClass,
+            PolicyKind::EarliestDeadline,
+            PolicyKind::WeightedFair,
+        ][pol];
+        let mut cost = CostModel::exemplar();
+        let (tm, mut source) = burst_source(seed);
+        let cfg = FleetConfig::new(chips)
+            .with_policy(policy)
+            .with_queue_capacity(cap)
+            .with_tenant_weights(tm.service_weights());
+        let r = simulate(&cfg, &mut source, &mut cost);
+        let arrivals = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Admitted { .. } | TraceEntry::Rejected { .. }))
+            .count() as u64;
+        prop_assert_eq!(arrivals, r.summary.completed + r.summary.rejected);
+        prop_assert_eq!(r.records.len() as u64, r.summary.completed);
+        // No id served twice.
+        let mut ids: Vec<u64> = r.records.iter().map(|rec| rec.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, r.summary.completed);
+        // Per-tenant slices tile the global counts.
+        let by_tenant_completed: u64 = r.summary.per_tenant.iter().map(|t| t.completed).sum();
+        let by_tenant_rejected: u64 = r.summary.per_tenant.iter().map(|t| t.rejected).sum();
+        prop_assert_eq!(by_tenant_completed, r.summary.completed);
+        prop_assert_eq!(by_tenant_rejected, r.summary.rejected);
+        // Metrics never go NaN, even for starved runs.
+        prop_assert!(!r.summary.p99_latency_ms.is_nan());
+        prop_assert!(!r.summary.jain_fairness.is_nan());
+    }
+
+    /// The autoscaler never takes the online pool outside
+    /// `[min_chips, max_chips]`, at any instant of any random run —
+    /// replayed from the chip power-transition trace — and two runs of
+    /// the same seed produce identical traces.
+    #[test]
+    fn autoscaler_respects_bounds(seed in 0u64..400, min in 1usize..3, span in 0usize..5, kindsel in 0usize..2, spin in 0usize..3) {
+        let max = min + span;
+        let kind = if kindsel == 0 {
+            ScaleKind::QueueDepth { up_depth: 3, down_depth: 0 }
+        } else {
+            ScaleKind::UtilizationTarget { low: 0.25, high: 0.9 }
+        };
+        let spin_up_ms = [5.0, 40.0, 150.0][spin];
+        let run = |seed: u64| {
+            let mut cost = CostModel::exemplar();
+            let (tm, mut source) = burst_source(seed);
+            let cfg = FleetConfig::new(1)
+                .with_policy(PolicyKind::WeightedFair)
+                .with_tenant_weights(tm.service_weights())
+                .with_autoscale(
+                    AutoscaleConfig::new(kind, min, max)
+                        .with_spin_up_ms(spin_up_ms)
+                        .with_cooldown_ms(spin_up_ms)
+                        .with_interval_ms(20.0),
+                );
+            simulate(&cfg, &mut source, &mut cost)
+        };
+        let r = run(seed);
+        // Initial pool = cfg.chips clamped into the bounds.
+        let mut online = 1usize.clamp(min, max) as i64;
+        for e in &r.trace {
+            match e {
+                TraceEntry::ChipUp { .. } => online += 1,
+                TraceEntry::ChipDown { .. } => online -= 1,
+                _ => {}
+            }
+            prop_assert!(
+                (min as i64..=max as i64).contains(&online),
+                "pool {} outside [{}, {}]", online, min, max
+            );
+        }
+        prop_assert!(r.summary.peak_chips <= max);
+        prop_assert!(r.summary.mean_chips <= max as f64 + 1e-9);
+        prop_assert!(r.summary.mean_chips >= min as f64 - 1e-9);
+        // Determinism: an identical second run yields an identical trace.
+        let again = run(seed);
+        prop_assert_eq!(r.trace_hash, again.trace_hash);
+        prop_assert_eq!(r.trace.len(), again.trace.len());
     }
 }
