@@ -1,0 +1,37 @@
+//! Ad-hoc MSM profiler: times one signed-digit MSM at an arbitrary size.
+//!
+//! `repro perf` benches the fixed 2^12–2^18 ladder; this binary takes
+//! `log2(n)` on the command line (default 16) for quick one-off probes
+//! of other sizes, e.g. `cargo run --release --bin msm_prof -- 18`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use zkphire_curve::*;
+use zkphire_field::Fr;
+
+fn main() {
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let n = 1usize << log_n;
+    let g = G1Affine::generator();
+    let mut acc = G1Projective::from(g);
+    let mut proj = Vec::with_capacity(n);
+    for _ in 0..n {
+        proj.push(acc);
+        acc = acc.add_mixed(&g);
+    }
+    let points = batch_normalize(&proj);
+    let mut rng = StdRng::seed_from_u64(1);
+    let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    let t = Instant::now();
+    let (r, ops) = msm_with_ops_threads(&points, &scalars, 1);
+    eprintln!(
+        "signed   n=2^{log_n}: {:?} padds={}",
+        t.elapsed(),
+        ops.total_padds()
+    );
+    std::hint::black_box(r);
+}

@@ -1,5 +1,6 @@
 //! Regenerates the paper's tables and figures from this repository's
-//! models. Usage: `repro <experiment|all>`; see `repro list`.
+//! models. Usage: `repro <experiment|all> [flags...]`; see `repro list`.
+//! (`repro perf` accepts `--smoke` and `--out <path>`.)
 
 use std::process::ExitCode;
 
@@ -7,8 +8,8 @@ use zkphire_bench::experiments;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(which) = args.first() else {
-        eprintln!("usage: repro <experiment|all|list>");
+    let Some((which, rest)) = args.split_first() else {
+        eprintln!("usage: repro <experiment|all|list> [flags...]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         return ExitCode::FAILURE;
     };
@@ -20,11 +21,14 @@ fn main() -> ExitCode {
         "all" => {
             for name in experiments::ALL {
                 println!("=== {name} ===");
-                println!("{}", experiments::run(name).expect("registered"));
+                println!(
+                    "{}",
+                    experiments::run_with_args(name, rest).expect("registered")
+                );
             }
             ExitCode::SUCCESS
         }
-        name => match experiments::run(name) {
+        name => match experiments::run_with_args(name, rest) {
             Some(output) => {
                 println!("{output}");
                 ExitCode::SUCCESS

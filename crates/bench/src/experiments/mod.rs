@@ -3,6 +3,7 @@
 mod ablations;
 mod autoscale_exps;
 mod fleet_exps;
+mod perf_exps;
 mod sumcheck_exps;
 mod system_exps;
 mod workload_exps;
@@ -10,12 +11,13 @@ mod workload_exps;
 pub use ablations::ablations;
 pub use autoscale_exps::autoscale;
 pub use fleet_exps::fleet;
+pub use perf_exps::{perf, perf_with_args};
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
 pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 21] = [
     "table1",
     "fig6",
     "fig7",
@@ -36,10 +38,17 @@ pub const ALL: [&str; 20] = [
     "ablations",
     "fleet",
     "autoscale",
+    "perf",
 ];
 
 /// Runs one experiment by name.
 pub fn run(name: &str) -> Option<String> {
+    run_with_args(name, &[])
+}
+
+/// Runs one experiment by name with extra command-line flags (currently
+/// only `perf` consumes any: `--smoke`, `--out <path>`).
+pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
     Some(match name {
         "table1" => table1(),
         "fig6" => fig6(),
@@ -62,6 +71,7 @@ pub fn run(name: &str) -> Option<String> {
         "ablations" => ablations(),
         "fleet" => fleet(),
         "autoscale" => autoscale(),
+        "perf" => perf_with_args(args),
         _ => return None,
     })
 }

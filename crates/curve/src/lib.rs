@@ -22,5 +22,8 @@
 mod g1;
 mod msm;
 
-pub use g1::{curve_b, G1Affine, G1Projective};
-pub use msm::{msm, msm_naive, msm_with_ops, optimal_window_bits, MsmOps};
+pub use g1::{batch_normalize, curve_b, G1Affine, G1Projective};
+pub use msm::{
+    msm, msm_naive, msm_unsigned, msm_unsigned_with_ops, msm_with_ops, msm_with_ops_threads,
+    optimal_window_bits, MsmOps,
+};

@@ -1,16 +1,30 @@
 //! Multi-scalar multiplication (MSM) via Pippenger's bucket method.
 //!
 //! MSM is the dominant kernel of HyperPlonk's polynomial commitments
-//! (paper §II-B): `S = Σ k_i · P_i`. The implementation mirrors the
-//! structure the paper's MSM unit accelerates — per-window bucket
-//! accumulation out of streamed (scalar, point) pairs, a running-sum bucket
-//! reduction, and a final window aggregation — and reports the operation
-//! counts the hardware model consumes. Zero scalars are skipped, which is
-//! exactly how the accelerator's *sparse MSMs* over ~90%-sparse witness
-//! MLEs gain their advantage (§IV-B1, §IV-B3).
+//! (paper §II-B): `S = Σ k_i · P_i`. Two implementations live here:
+//!
+//! * [`msm`] / [`msm_with_ops`] — the production path: **signed-digit**
+//!   windows (digits in `[-2^(c-1), 2^(c-1)]`, halving the bucket count
+//!   versus unsigned windows because `-P` is a free y-negation) with
+//!   **batched-affine** bucket accumulation — bucket updates are performed
+//!   in affine coordinates, with every inversion in a pass amortized
+//!   through one [`zkphire_field::batch_inverse`] call. A scheduler defers
+//!   colliding bucket indices to the next pass so each pass touches every
+//!   bucket at most once. This is the same constant-factor structure SZKP
+//!   and cuZK exploit and the shape the paper's streamed MSM unit
+//!   pipelines.
+//! * [`msm_unsigned_with_ops`] — the previous unsigned-window path with one
+//!   projective mixed-add per streamed pair, kept as the regression
+//!   baseline the `repro perf` harness compares against.
+//!
+//! Both report the operation counts the hardware model consumes. Zero
+//! scalars are skipped, which is exactly how the accelerator's *sparse
+//! MSMs* over ~90%-sparse witness MLEs gain their advantage (§IV-B1,
+//! §IV-B3). Per-window work is deterministic, so [`MsmOps`] counts are
+//! bit-identical regardless of the worker-thread count.
 
 use crate::g1::{G1Affine, G1Projective};
-use zkphire_field::Fr;
+use zkphire_field::{batch_inverse, Fq, Fr};
 
 /// Operation counts for one MSM, used to validate the hardware MSM model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,7 +61,10 @@ pub fn optimal_window_bits(n: usize) -> u32 {
     }
 }
 
-/// Computes `Σ scalars[i] * points[i]` with Pippenger's algorithm,
+/// Scalar width budget for window decomposition (`Fr` is 255 bits).
+const SCALAR_BITS: u32 = 255;
+
+/// Computes `Σ scalars[i] * points[i]` with signed-digit Pippenger,
 /// parallelized across windows.
 ///
 /// # Panics
@@ -59,6 +76,22 @@ pub fn msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
 
 /// [`msm`] plus the operation counts incurred.
 pub fn msm_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOps) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    msm_with_ops_threads(points, scalars, threads)
+}
+
+/// [`msm_with_ops`] with an explicit worker-thread count.
+///
+/// The result *and* the [`MsmOps`] counts are identical for every
+/// `threads` value — windows are data-independent and each window's
+/// schedule depends only on the input order.
+pub fn msm_with_ops_threads(
+    points: &[G1Affine],
+    scalars: &[Fr],
+    threads: usize,
+) -> (G1Projective, MsmOps) {
     assert_eq!(
         points.len(),
         scalars.len(),
@@ -69,8 +102,357 @@ pub fn msm_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOp
     }
 
     let window_bits = optimal_window_bits(points.len());
-    let scalar_bits = 255u32;
-    let num_windows = scalar_bits.div_ceil(window_bits) as usize;
+    // One extra window absorbs the final carry of the signed recoding.
+    let num_windows = SCALAR_BITS.div_ceil(window_bits) as usize + 1;
+
+    // Signed digits for every scalar, recoded once and shared by all
+    // windows (scalar-major layout: digit of window `w` for scalar `i`
+    // lives at `i * num_windows + w`).
+    let mut digits = vec![0i32; points.len() * num_windows];
+    let mut skipped_zeros = 0u64;
+    for (i, s) in scalars.iter().enumerate() {
+        if s.is_zero() {
+            skipped_zeros += 1;
+            continue; // digits stay 0: the windows skip this point entirely
+        }
+        let limbs = s.to_canonical_limbs();
+        recode_signed(
+            &limbs,
+            window_bits,
+            &mut digits[i * num_windows..(i + 1) * num_windows],
+        );
+    }
+
+    // Each window is independent; workers take windows round-robin and
+    // reuse one pre-sized scheduler arena across all of their windows.
+    // Small problems run sequentially — thread spawns cost more than the
+    // bucket work below ~2^10 points.
+    let workers = if points.len() < (1 << 10) {
+        1
+    } else {
+        threads.clamp(1, num_windows)
+    };
+    let window_results: Vec<(G1Projective, MsmOps)> = if workers <= 1 {
+        let mut arena = BucketArena::new(window_bits, points.len());
+        (0..num_windows)
+            .map(|w| window_sum_signed(points, &digits, num_windows, w, &mut arena))
+            .collect()
+    } else {
+        let mut results = vec![(G1Projective::identity(), MsmOps::default()); num_windows];
+        std::thread::scope(|scope| {
+            // Hand each worker a disjoint strided set of result slots.
+            let mut slots: Vec<Vec<(usize, &mut (G1Projective, MsmOps))>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (w, slot) in results.iter_mut().enumerate() {
+                slots[w % workers].push((w, slot));
+            }
+            for worker_slots in slots {
+                let digits = &digits;
+                scope.spawn(move || {
+                    let mut arena = BucketArena::new(window_bits, points.len());
+                    for (w, slot) in worker_slots {
+                        *slot = window_sum_signed(points, digits, num_windows, w, &mut arena);
+                    }
+                });
+            }
+        });
+        results
+    };
+
+    // Aggregate windows from most significant down.
+    let mut ops = MsmOps {
+        skipped_zeros,
+        ..MsmOps::default()
+    };
+    let mut acc = G1Projective::identity();
+    for (i, (w_sum, w_ops)) in window_results.iter().enumerate().rev() {
+        if i != num_windows - 1 {
+            for _ in 0..window_bits {
+                acc = acc.double();
+            }
+            ops.doublings += u64::from(window_bits);
+        }
+        ops.bucket_adds += w_ops.bucket_adds;
+        ops.reduction_adds += w_ops.reduction_adds;
+        acc += *w_sum;
+    }
+    (acc, ops)
+}
+
+/// Recodes a canonical 255-bit scalar into signed base-`2^window_bits`
+/// digits in `[-(2^(c-1) - 1), 2^(c-1)]`, one per window.
+///
+/// Standard carry recoding: a raw digit above `2^(c-1)` becomes
+/// `raw - 2^c` and carries `1` into the next window; the last window holds
+/// at most the final carry. The digit vector reconstructs the scalar
+/// exactly: `Σ_w digit_w · 2^(w·c)`.
+fn recode_signed(limbs: &[u64; 4], window_bits: u32, out: &mut [i32]) {
+    let half = 1i64 << (window_bits - 1);
+    let full = 1i64 << window_bits;
+    let mut carry = 0i64;
+    for (w, digit) in out.iter_mut().enumerate() {
+        let raw = extract_digit(limbs, w, window_bits) as i64 + carry;
+        if raw > half {
+            *digit = (raw - full) as i32;
+            carry = 1;
+        } else {
+            *digit = raw as i32;
+            carry = 0;
+        }
+    }
+    debug_assert_eq!(carry, 0, "top window must absorb the final carry");
+}
+
+/// Batched-affine accumulation amortizes one field inversion over a pass
+/// of independent affine additions; the scheduling only pays off once a
+/// window has this many buckets (2^8 ⇒ n ≥ 2^12 under
+/// [`optimal_window_bits`]). Narrower windows accumulate in projective
+/// coordinates instead — still with signed digits and half the buckets.
+const BATCHED_AFFINE_MIN_BUCKETS: usize = 1 << 8;
+
+/// Reusable per-worker buffers for one window's bucket accumulation —
+/// allocated once per worker and recycled across windows instead of
+/// reallocating `vec![...; bucket_count]` per window.
+struct BucketArena {
+    /// Whether this arena runs the batched-affine scheme (wide windows)
+    /// or plain projective accumulation (narrow windows).
+    batched: bool,
+    /// Projective buckets for the non-batched scheme.
+    proj_buckets: Vec<G1Projective>,
+    /// Bucket-major (counting-sorted) window points; each bucket owns the
+    /// segment `starts[b] .. starts[b] + lens[b]`, compacted in place as
+    /// the pair-reduction tree collapses it.
+    sorted: Vec<G1Affine>,
+    /// Per-bucket segment starts (`bucket_count + 1` entries).
+    starts: Vec<u32>,
+    /// Per-bucket live point count within its segment.
+    lens: Vec<u32>,
+    /// Buckets still holding ≥ 2 points (current / next pass).
+    active: Vec<u32>,
+    next_active: Vec<u32>,
+    /// Pairs scheduled this pass: `(bucket, a, b)`.
+    pairs: Vec<(u32, G1Affine, G1Affine)>,
+    /// Slope denominators for `pairs` (batch-inverted in place).
+    denoms: Vec<Fq>,
+}
+
+impl BucketArena {
+    fn new(window_bits: u32, n_hint: usize) -> Self {
+        let bucket_count = 1usize << (window_bits - 1);
+        let batched = bucket_count >= BATCHED_AFFINE_MIN_BUCKETS;
+        Self {
+            batched,
+            proj_buckets: vec![G1Projective::identity(); if batched { 0 } else { bucket_count }],
+            sorted: Vec::with_capacity(if batched { n_hint } else { 0 }),
+            starts: vec![0; if batched { bucket_count + 1 } else { 0 }],
+            lens: vec![0; if batched { bucket_count } else { 0 }],
+            active: Vec::new(),
+            next_active: Vec::new(),
+            pairs: Vec::new(),
+            denoms: Vec::new(),
+        }
+    }
+}
+
+/// Accumulates one window's buckets (batched-affine pair-reduction) and
+/// reduces them.
+fn window_sum_signed(
+    points: &[G1Affine],
+    digits: &[i32],
+    num_windows: usize,
+    window_index: usize,
+    arena: &mut BucketArena,
+) -> (G1Projective, MsmOps) {
+    let mut ops = MsmOps::default();
+    let digit_at = |i: usize| digits[i * num_windows + window_index];
+
+    if !arena.batched {
+        // Narrow window: accumulate directly in projective coordinates.
+        arena
+            .proj_buckets
+            .iter_mut()
+            .for_each(|b| *b = G1Projective::identity());
+        for (i, point) in points.iter().enumerate() {
+            let d = digit_at(i);
+            if d == 0 || point.infinity {
+                continue;
+            }
+            let (b, p) = if d > 0 {
+                (d as usize - 1, *point)
+            } else {
+                ((-d) as usize - 1, -*point)
+            };
+            arena.proj_buckets[b] = arena.proj_buckets[b].add_mixed(&p);
+            ops.bucket_adds += 1;
+        }
+        let mut running = G1Projective::identity();
+        let mut total = G1Projective::identity();
+        for bucket in arena.proj_buckets.iter().rev() {
+            running += *bucket;
+            total += running;
+            ops.reduction_adds += 2;
+        }
+        return (total, ops);
+    }
+
+    let bucket_count = arena.lens.len();
+    let bucket_of = |d: i32| if d > 0 { d as u32 - 1 } else { (-d) as u32 - 1 };
+
+    // Counting sort the window's non-zero digits into bucket-major order
+    // (a negative digit contributes `-P`, a free affine negation).
+    arena.lens.iter_mut().for_each(|l| *l = 0);
+    for (i, point) in points.iter().enumerate() {
+        let d = digit_at(i);
+        if d != 0 && !point.infinity {
+            arena.lens[bucket_of(d) as usize] += 1;
+        }
+    }
+    arena.starts[0] = 0;
+    for b in 0..bucket_count {
+        arena.starts[b + 1] = arena.starts[b] + arena.lens[b];
+    }
+    let total_updates = arena.starts[bucket_count] as usize;
+    arena.sorted.resize(total_updates, G1Affine::identity());
+    {
+        // Scatter; `lens` doubles as the per-bucket write cursor and is
+        // recomputed from the segment bounds afterwards.
+        arena.lens.iter_mut().for_each(|l| *l = 0);
+        for (i, point) in points.iter().enumerate() {
+            let d = digit_at(i);
+            if d == 0 || point.infinity {
+                continue;
+            }
+            let b = bucket_of(d) as usize;
+            let pos = arena.starts[b] + arena.lens[b];
+            arena.sorted[pos as usize] = if d > 0 { *point } else { -*point };
+            arena.lens[b] += 1;
+        }
+    }
+
+    // Pair-reduction tree: each pass pairs up the surviving points inside
+    // every active bucket — pairs are independent affine additions, so
+    // one batch inversion serves the entire pass and the pass count is
+    // logarithmic in the worst bucket occupancy (robust even when every
+    // update hits a single bucket, as in the recoding carry window).
+    arena.active.clear();
+    for b in 0..bucket_count {
+        if arena.lens[b] >= 2 {
+            arena.active.push(b as u32);
+        }
+    }
+    while !arena.active.is_empty() {
+        arena.pairs.clear();
+        arena.denoms.clear();
+        for &b in &arena.active {
+            let s = arena.starts[b as usize] as usize;
+            let l = arena.lens[b as usize] as usize;
+            for i in 0..l / 2 {
+                let a = arena.sorted[s + 2 * i];
+                let c = arena.sorted[s + 2 * i + 1];
+                // λ denominator: x2 - x1 for distinct x, 2y for doubling;
+                // zero marks cancellation (batch_inverse skips zeros and
+                // the apply step never reads the placeholder).
+                let denom = if a.x != c.x {
+                    c.x - a.x
+                } else if a.y == c.y {
+                    a.y.double()
+                } else {
+                    Fq::ZERO
+                };
+                arena.pairs.push((b, a, c));
+                arena.denoms.push(denom);
+            }
+        }
+        batch_inverse(&mut arena.denoms);
+
+        // Apply bucket-by-bucket (`pairs` is bucket-major), compacting
+        // each segment: pair results first, odd leftover appended.
+        arena.next_active.clear();
+        let mut pair_idx = 0usize;
+        for &b in &arena.active {
+            let s = arena.starts[b as usize] as usize;
+            let l = arena.lens[b as usize] as usize;
+            let mut write = 0usize;
+            for _ in 0..l / 2 {
+                let (_, a, c) = arena.pairs[pair_idx];
+                let inv = &arena.denoms[pair_idx];
+                pair_idx += 1;
+                ops.bucket_adds += 1;
+                if let Some(sum) = affine_add_with_inv(&a, &c, inv) {
+                    arena.sorted[s + write] = sum;
+                    write += 1;
+                }
+            }
+            if l % 2 == 1 {
+                arena.sorted[s + write] = arena.sorted[s + l - 1];
+                write += 1;
+            }
+            arena.lens[b as usize] = write as u32;
+            if write >= 2 {
+                arena.next_active.push(b);
+            }
+        }
+        std::mem::swap(&mut arena.active, &mut arena.next_active);
+    }
+
+    // Running-sum reduction: sum_j j * bucket_j with 2 * |buckets| adds.
+    let mut running = G1Projective::identity();
+    let mut total = G1Projective::identity();
+    for b in (0..bucket_count).rev() {
+        if arena.lens[b] == 1 {
+            running = running.add_mixed(&arena.sorted[arena.starts[b] as usize]);
+        }
+        total += running;
+        ops.reduction_adds += 2;
+    }
+    (total, ops)
+}
+
+/// Affine addition `q + p` given `inv`, the precomputed inverse of the
+/// slope denominator (`1/(x_p - x_q)`, or `1/(2 y_q)` for doubling).
+///
+/// Returns `None` for the identity (cancellation `p = -q`, including the
+/// 2-torsion case `y = 0`).
+fn affine_add_with_inv(q: &G1Affine, p: &G1Affine, inv: &Fq) -> Option<G1Affine> {
+    let lambda = if p.x != q.x {
+        (p.y - q.y) * *inv
+    } else if p.y == q.y {
+        if q.y.is_zero() {
+            return None; // 2-torsion: doubling lands on the identity
+        }
+        let x2 = q.x.square();
+        (x2.double() + x2) * *inv
+    } else {
+        return None; // p = -q
+    };
+    let x3 = lambda.square() - q.x - p.x;
+    let y3 = lambda * (q.x - x3) - q.y;
+    Some(G1Affine {
+        x: x3,
+        y: y3,
+        infinity: false,
+    })
+}
+
+/// The pre-rewrite unsigned-window Pippenger with one projective mixed-add
+/// per streamed pair — the `repro perf` regression baseline.
+pub fn msm_unsigned(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    msm_unsigned_with_ops(points, scalars).0
+}
+
+/// [`msm_unsigned`] plus the operation counts incurred.
+pub fn msm_unsigned_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOps) {
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points and scalars must pair up"
+    );
+    if points.is_empty() {
+        return (G1Projective::identity(), MsmOps::default());
+    }
+
+    let window_bits = optimal_window_bits(points.len());
+    let num_windows = SCALAR_BITS.div_ceil(window_bits) as usize;
 
     let canonical: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
 
@@ -79,7 +461,7 @@ pub fn msm_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOp
         let handles: Vec<_> = (0..num_windows)
             .map(|w| {
                 let canonical = &canonical;
-                scope.spawn(move || window_sum(points, canonical, w, window_bits))
+                scope.spawn(move || window_sum_unsigned(points, canonical, w, window_bits))
             })
             .collect();
         handles
@@ -104,11 +486,11 @@ pub fn msm_with_ops(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, MsmOp
     // The doublings above over-count by window_bits for the top window
     // (doubling the identity); keep the simple accounting — the model uses
     // scalar_bits doublings total.
-    ops.doublings = u64::from(scalar_bits);
+    ops.doublings = u64::from(SCALAR_BITS);
     (acc, ops)
 }
 
-fn window_sum(
+fn window_sum_unsigned(
     points: &[G1Affine],
     canonical: &[[u64; 4]],
     window_index: usize,
@@ -193,8 +575,56 @@ mod tests {
     }
 
     #[test]
+    fn matches_unsigned_reference() {
+        for n in [5usize, 64, 300] {
+            let (points, scalars) = random_inputs(n, 1000 + n as u64);
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_unsigned(&points, &scalars),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_affine_path_matches_unsigned() {
+        // n = 4096 gives 9-bit windows (256 buckets), the smallest size
+        // where the batched-affine pair-reduction scheduler activates —
+        // every other test in this suite stays on the narrow-window
+        // projective path. Points come from a generator chain (cheap to
+        // build) and scalars mix dense randoms with zeros and duplicates
+        // so buckets both collide and cancel.
+        let n = 4096;
+        let g = G1Affine::generator();
+        let mut acc = G1Projective::from(g);
+        let mut chain = Vec::with_capacity(n);
+        for _ in 0..n {
+            chain.push(acc);
+            acc = acc.add_mixed(&g);
+        }
+        let points = crate::g1::batch_normalize(&chain);
+        let mut rng = StdRng::seed_from_u64(44);
+        let dup = Fr::random(&mut rng);
+        let scalars: Vec<Fr> = (0..n)
+            .map(|i| match i % 8 {
+                0 => Fr::ZERO,
+                1 | 2 => dup,
+                _ => Fr::random(&mut rng),
+            })
+            .collect();
+        let (signed, ops) = msm_with_ops_threads(&points, &scalars, 1);
+        let (par, par_ops) = msm_with_ops_threads(&points, &scalars, 4);
+        let (unsigned, _) = msm_unsigned_with_ops(&points, &scalars);
+        assert_eq!(signed, unsigned);
+        assert_eq!(par, signed);
+        assert_eq!(par_ops, ops);
+        assert_eq!(ops.skipped_zeros, (n / 8) as u64);
+    }
+
+    #[test]
     fn empty_msm_is_identity() {
         assert!(msm(&[], &[]).is_identity());
+        assert!(msm_unsigned(&[], &[]).is_identity());
     }
 
     #[test]
@@ -235,6 +665,41 @@ mod tests {
     }
 
     #[test]
+    fn repeated_points_collide_in_buckets() {
+        // Many copies of one point with one scalar force maximal bucket
+        // collisions (every update targets the same bucket), exercising
+        // the deferred-pass scheduler and the affine doubling path.
+        let mut rng = StdRng::seed_from_u64(40);
+        let p = G1Affine::random(&mut rng);
+        let s = Fr::random(&mut rng);
+        let n = 50;
+        let points = vec![p; n];
+        let scalars = vec![s; n];
+        assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars));
+    }
+
+    #[test]
+    fn cancelling_pairs_reach_identity_buckets() {
+        // P and -P with the same scalar cancel inside one bucket; the
+        // bucket must return to the empty state and accept later points.
+        let mut rng = StdRng::seed_from_u64(41);
+        let p = G1Affine::random(&mut rng);
+        let q = G1Affine::random(&mut rng);
+        let s = Fr::random(&mut rng);
+        let points = vec![p, -p, q];
+        let scalars = vec![s, s, s];
+        assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars));
+    }
+
+    #[test]
+    fn identity_points_are_skipped() {
+        let (mut points, scalars) = random_inputs(10, 43);
+        points[3] = G1Affine::identity();
+        points[7] = G1Affine::identity();
+        assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars));
+    }
+
+    #[test]
     fn digit_extraction_reassembles_scalar() {
         let mut rng = StdRng::seed_from_u64(7);
         let s = Fr::random(&mut rng);
@@ -256,16 +721,71 @@ mod tests {
     }
 
     #[test]
+    fn signed_recoding_reassembles_scalar() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for bits in [4u32, 7, 9, 13] {
+            let s = Fr::random(&mut rng);
+            let limbs = s.to_canonical_limbs();
+            let num_windows = SCALAR_BITS.div_ceil(bits) as usize + 1;
+            let mut digits = vec![0i32; num_windows];
+            recode_signed(&limbs, bits, &mut digits);
+            let half = 1i32 << (bits - 1);
+            assert!(digits.iter().all(|d| -half < *d && *d <= half));
+            // Σ digit_w * 2^(w*bits) * G should reconstruct s * G.
+            let g = G1Projective::generator();
+            let mut acc = G1Projective::identity();
+            for &d in digits.iter().rev() {
+                for _ in 0..bits {
+                    acc = acc.double();
+                }
+                let term = g.mul_fr(&Fr::from_u64(d.unsigned_abs() as u64));
+                acc += if d < 0 { -term } else { term };
+            }
+            assert_eq!(acc, g.mul_fr(&s), "window bits {bits}");
+        }
+    }
+
+    #[test]
     fn ops_accounting_is_consistent() {
         let (points, scalars) = random_inputs(128, 11);
         let (_, ops) = msm_with_ops(&points, &scalars);
         let window_bits = optimal_window_bits(128);
-        let windows = 255u32.div_ceil(window_bits) as u64;
-        // Reduction adds: 2 per bucket per window.
+        let windows = SCALAR_BITS.div_ceil(window_bits) as u64 + 1;
+        // Reduction adds: 2 per bucket per window; signed digits halve the
+        // bucket count to 2^(c-1).
+        assert_eq!(
+            ops.reduction_adds,
+            windows * 2 * (1u64 << (window_bits - 1))
+        );
+        // At most one bucket add per (point, window) pair.
+        assert!(ops.bucket_adds <= 128 * windows);
+        // Window aggregation doubles between consecutive windows.
+        assert_eq!(ops.doublings, (windows - 1) * u64::from(window_bits));
+    }
+
+    #[test]
+    fn ops_independent_of_thread_count() {
+        let (points, scalars) = random_inputs(200, 12);
+        let (r1, o1) = msm_with_ops_threads(&points, &scalars, 1);
+        let (r4, o4) = msm_with_ops_threads(&points, &scalars, 4);
+        let (r9, o9) = msm_with_ops_threads(&points, &scalars, 9);
+        assert_eq!(r1, r4);
+        assert_eq!(r1, r9);
+        assert_eq!(o1, o4);
+        assert_eq!(o1, o9);
+    }
+
+    #[test]
+    fn unsigned_ops_accounting_unchanged() {
+        let (points, scalars) = random_inputs(128, 11);
+        let (_, ops) = msm_unsigned_with_ops(&points, &scalars);
+        let window_bits = optimal_window_bits(128);
+        let windows = SCALAR_BITS.div_ceil(window_bits) as u64;
         assert_eq!(
             ops.reduction_adds,
             windows * 2 * ((1u64 << window_bits) - 1)
         );
         assert!(ops.bucket_adds <= 128 * windows);
+        assert_eq!(ops.doublings, u64::from(SCALAR_BITS));
     }
 }

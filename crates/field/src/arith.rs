@@ -174,6 +174,74 @@ pub fn mont_mul<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N], inv: u
     t
 }
 
+/// SOS Montgomery squaring: returns `a * a * 2^(-64 N) mod m`.
+///
+/// Exploits the symmetry of the partial-product matrix: the off-diagonal
+/// products `a_i * a_j` (`i < j`) are computed once and doubled, then the
+/// `N` diagonal squares are added — `N(N+1)/2` wide multiplications instead
+/// of [`mont_mul`]'s `N^2` — before a standard word-by-word Montgomery
+/// reduction. Input must be `< m`; the output is `< m`.
+#[inline]
+pub fn mont_sqr<const N: usize>(a: &[u64; N], m: &[u64; N], inv: u64) -> [u64; N] {
+    // Scratch for the 2N-limb square; fields here are N = 4 or N = 6.
+    assert!(2 * N <= 16, "mont_sqr supports up to 8 limbs");
+    let mut t = [0u64; 16];
+
+    // Off-diagonal partial products: t = sum_{i < j} a_i a_j 2^(64 (i+j)).
+    for i in 0..N {
+        let mut carry = 0u64;
+        for j in (i + 1)..N {
+            let (lo, hi) = mac(t[i + j], a[i], a[j], carry);
+            t[i + j] = lo;
+            carry = hi;
+        }
+        t[i + N] = carry;
+    }
+    // Double the off-diagonal sum (fits in 2N limbs: it is < a^2 / 2).
+    let mut carry = 0u64;
+    for limb in t.iter_mut().take(2 * N) {
+        let hi = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = hi;
+    }
+    // Add the diagonal squares a_i^2 at positions 2i, 2i+1.
+    let mut carry = 0u64;
+    for i in 0..N {
+        let sq = (a[i] as u128) * (a[i] as u128);
+        let (lo, c1) = adc(t[2 * i], sq as u64, carry);
+        t[2 * i] = lo;
+        let (hi, c2) = adc(t[2 * i + 1], (sq >> 64) as u64, c1);
+        t[2 * i + 1] = hi;
+        carry = c2;
+    }
+
+    // Word-by-word Montgomery reduction of the 2N-limb value. `extra`
+    // tracks the overflow out of limb `i + N` across iterations: the
+    // carry out of step i's top adc lands exactly at limb `i + 1 + N`,
+    // step i+1's top position.
+    let mut extra = 0u64;
+    for i in 0..N {
+        let k = t[i].wrapping_mul(inv);
+        let mut carry = 0u64;
+        for j in 0..N {
+            let (lo, hi) = mac(t[i + j], k, m[j], carry);
+            t[i + j] = lo;
+            carry = hi;
+        }
+        let (lo, c) = adc(t[i + N], carry, extra);
+        t[i + N] = lo;
+        extra = c;
+    }
+
+    let mut out = [0u64; N];
+    out.copy_from_slice(&t[N..2 * N]);
+    if extra != 0 || geq(&out, m) {
+        let (r, _) = sub_limbs(&out, m);
+        out = r;
+    }
+    out
+}
+
 /// Modular addition of canonical representatives: `(a + b) mod m`.
 #[inline]
 pub fn add_mod<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N]) -> [u64; N] {
@@ -245,6 +313,23 @@ mod tests {
                                    // mont_mul(x, R) == x for x < m
         let x = [123_456_789u64, 42];
         assert_eq!(mont_mul(&x, &r, &M, inv), x);
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul() {
+        let inv = mont_neg_inv(M[0]);
+        // A spread of values including edge patterns near the modulus.
+        let cases: [[u64; 2]; 6] = [
+            [0, 0],
+            [1, 0],
+            [123_456_789, 42],
+            [u64::MAX, 0x7fff_ffff_ffff_ffff],
+            [M[0] - 1, M[1]],
+            [0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef],
+        ];
+        for x in cases {
+            assert_eq!(mont_sqr(&x, &M, inv), mont_mul(&x, &x, &M, inv), "{x:?}");
+        }
     }
 
     #[test]

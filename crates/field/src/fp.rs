@@ -208,9 +208,17 @@ impl<P: FieldParams<N>, const N: usize> Fp<P, N> {
     }
 
     /// Squares the element.
+    ///
+    /// Uses a dedicated SOS squaring kernel ([`arith::mont_sqr`]) that
+    /// computes each symmetric partial product once and doubles it —
+    /// `N(N+1)/2` wide multiplications instead of the full `N^2` a
+    /// general [`Mul`] performs.
     #[inline]
     pub fn square(&self) -> Self {
-        *self * *self
+        Self {
+            limbs: arith::mont_sqr(&self.limbs, &P::MODULUS, P::INV),
+            _params: PhantomData,
+        }
     }
 
     /// Raises the element to a multi-precision exponent (little-endian limbs).

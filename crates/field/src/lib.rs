@@ -240,6 +240,15 @@ mod tests {
         }
 
         #[test]
+        fn fq_square_matches_mul(a in arb_fq(), b in arb_fq()) {
+            prop_assert_eq!(a.square(), a * a);
+            // Exercise the Karatsuba-like identity through both kernels:
+            // (a + b)^2 == a^2 + 2ab + b^2.
+            let lhs = (a + b).square();
+            prop_assert_eq!(lhs, a.square() + (a * b).double() + b.square());
+        }
+
+        #[test]
         fn fq_field_axioms(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
             prop_assert_eq!(a * (b + c), a * b + a * c);
             prop_assert_eq!((a + b) + c, a + (b + c));

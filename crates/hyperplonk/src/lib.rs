@@ -41,7 +41,7 @@ pub use permutation::{
     build_permutation_data, id_eval, index_point, root_index, sigma_mles, PermutationData,
 };
 pub use proof::HyperPlonkProof;
-pub use prover::prove;
+pub use prover::{prove, prove_with_config, ProverConfig};
 pub use verifier::{verify, HyperPlonkError};
 
 #[cfg(test)]
@@ -70,6 +70,33 @@ mod tests {
     fn jellyfish_end_to_end() {
         let (vk, proof) = roundtrip(GateSystem::Jellyfish, 5, 2);
         verify(&vk, &proof, &mut Transcript::new(b"test")).unwrap();
+    }
+
+    #[test]
+    fn prover_config_does_not_change_proof() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (circuit, witness) = Circuit::random(GateSystem::Jellyfish, 6, 0.5, &mut rng);
+        let (pk, vk) = setup(circuit, &mut rng);
+        let sequential = prove_with_config(
+            &pk,
+            &witness,
+            &mut Transcript::new(b"cfg"),
+            ProverConfig { threads: 1 },
+        );
+        for threads in [2usize, 4] {
+            let parallel = prove_with_config(
+                &pk,
+                &witness,
+                &mut Transcript::new(b"cfg"),
+                ProverConfig { threads },
+            );
+            assert_eq!(
+                parallel.to_bytes(),
+                sequential.to_bytes(),
+                "threads={threads}"
+            );
+        }
+        verify(&vk, &sequential, &mut Transcript::new(b"cfg")).unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use zkphire_field::Fr;
 use zkphire_pcs::Commitment;
 use zkphire_poly::{CompositePoly, Mle, MleId, Term};
-use zkphire_sumcheck::{prove as sumcheck_prove, prove_zero_check};
+use zkphire_sumcheck::{prove_with_threads as sumcheck_prove, prove_zero_check_with_threads};
 use zkphire_transcript::Transcript;
 
 use crate::circuit::{GateSystem, Witness};
@@ -56,13 +56,46 @@ pub(crate) fn bind_statement(
     }
 }
 
-/// Generates a HyperPlonk proof for `witness` under `pk`.
+/// Knobs for the prover's execution strategy (not its output: proofs are
+/// bit-identical for every configuration).
+#[derive(Clone, Copy, Debug)]
+pub struct ProverConfig {
+    /// Worker threads for the SumCheck rounds, MLE folds, and the MLE
+    /// Combine. `1` forces the sequential reference path.
+    pub threads: usize,
+}
+
+impl Default for ProverConfig {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Generates a HyperPlonk proof for `witness` under `pk` with the default
+/// (all-cores) [`ProverConfig`].
 ///
 /// # Panics
 ///
 /// Panics if the witness shape does not match the circuit. (An unsatisfied
 /// witness does not panic — it yields a proof the verifier rejects.)
 pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) -> HyperPlonkProof {
+    prove_with_config(pk, witness, transcript, ProverConfig::default())
+}
+
+/// [`prove`] with an explicit [`ProverConfig`]; the proof bytes do not
+/// depend on the configuration.
+pub fn prove_with_config(
+    pk: &ProvingKey,
+    witness: &Witness,
+    transcript: &mut Transcript,
+    config: ProverConfig,
+) -> HyperPlonkProof {
+    let threads = config.threads.max(1);
     let system = pk.circuit.system;
     let mu = pk.circuit.num_vars;
     let n = 1usize << mu;
@@ -90,7 +123,13 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     let mut gate_mles: Vec<Mle> = pk.circuit.selectors.clone();
     gate_mles.extend(witness.columns.iter().cloned());
     gate_mles.push(Mle::zero(mu)); // f_r placeholder, filled by ZeroCheck
-    let (gate_out, _) = prove_zero_check(&gate.poly, system.gate_eq_slot(), gate_mles, transcript);
+    let (gate_out, _) = prove_zero_check_with_threads(
+        &gate.poly,
+        system.gate_eq_slot(),
+        gate_mles,
+        transcript,
+        threads,
+    );
     let x_zc = gate_out.challenges.clone();
 
     // Step 3 — Wire Identity.
@@ -117,7 +156,13 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     perm_mles.extend(perm.denominators.iter().cloned());
     perm_mles.extend(perm.numerators.iter().cloned());
     perm_mles.push(Mle::zero(mu)); // f_r placeholder
-    let (perm_out, _) = prove_zero_check(&perm_poly, system.perm_eq_slot(), perm_mles, transcript);
+    let (perm_out, _) = prove_zero_check_with_threads(
+        &perm_poly,
+        system.perm_eq_slot(),
+        perm_mles,
+        transcript,
+        threads,
+    );
     let x_pc = perm_out.challenges.clone();
 
     // Step 4 — Batch Evaluations. Claims already bound inside the two
@@ -154,18 +199,12 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
     oc_mles.push(Mle::eq_table(&x_pc));
     oc_mles.push(Mle::eq_table(&index_point(root_index(n), mu)));
     let combine_inputs = oc_mles[..k_p].to_vec();
-    let oc_out = sumcheck_prove(&oc_poly, oc_mles, transcript);
+    let oc_out = sumcheck_prove(&oc_poly, oc_mles, transcript, threads);
     let r_star = oc_out.challenges.clone();
 
     // MLE Combine: g = Σ ζ_i poly_i, opened once.
     let zetas = transcript.challenge_frs(b"hyperplonk/combine/zeta", k_p);
-    let g = Mle::from_fn(mu, |row| {
-        combine_inputs
-            .iter()
-            .zip(&zetas)
-            .map(|(m, z)| m.evals()[row] * *z)
-            .sum()
-    });
+    let g = mle_combine(&combine_inputs, &zetas, mu, threads);
     let (opening, opening_value) = pk.pcs.open(&g, &r_star);
 
     HyperPlonkProof {
@@ -178,4 +217,33 @@ pub fn prove(pk: &ProvingKey, witness: &Witness, transcript: &mut Transcript) ->
         opening,
         opening_value,
     }
+}
+
+/// The paper's *MLE Combine* kernel: `g = Σ_i ζ_i · poly_i`, chunked over
+/// disjoint row ranges so the result is thread-count independent.
+fn mle_combine(inputs: &[Mle], zetas: &[Fr], mu: usize, threads: usize) -> Mle {
+    let n = 1usize << mu;
+    let combine_row = |row: usize| -> Fr {
+        inputs
+            .iter()
+            .zip(zetas)
+            .map(|(m, z)| m.evals()[row] * *z)
+            .sum()
+    };
+    if threads <= 1 || n < (1 << 12) {
+        return Mle::from_fn(mu, combine_row);
+    }
+    let mut out = vec![Fr::ZERO; n];
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let combine_row = &combine_row;
+            scope.spawn(move || {
+                for (i, o) in out_chunk.iter_mut().enumerate() {
+                    *o = combine_row(t * chunk + i);
+                }
+            });
+        }
+    });
+    Mle::new(out)
 }

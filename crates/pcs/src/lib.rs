@@ -34,7 +34,7 @@
 //! ```
 
 use rand::Rng;
-use zkphire_curve::{msm, G1Affine, G1Projective};
+use zkphire_curve::{batch_normalize, msm, G1Affine, G1Projective};
 use zkphire_field::Fr;
 use zkphire_poly::Mle;
 
@@ -116,10 +116,11 @@ impl MultilinearKzg {
         let levels = (0..=num_vars)
             .map(|j| {
                 let eq = Mle::eq_table(&tau[j..]);
-                eq.evals()
-                    .iter()
-                    .map(|s| fixed_base_mul(s).to_affine())
-                    .collect()
+                // One batched inversion per level instead of one full
+                // inversion per SRS point.
+                let projective: Vec<G1Projective> =
+                    eq.evals().iter().map(&fixed_base_mul).collect();
+                batch_normalize(&projective)
             })
             .collect();
         Self { num_vars, levels }

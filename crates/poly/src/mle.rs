@@ -124,6 +124,45 @@ impl Mle {
         }
     }
 
+    /// [`fix_first_variable`](Self::fix_first_variable) split across
+    /// `threads` workers.
+    ///
+    /// The output is chunked over disjoint index ranges, so the result is
+    /// bit-identical to the sequential path for every thread count. Small
+    /// tables fall back to the sequential kernel — spawning costs more
+    /// than the fold below ~2^12 entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a zero-variable MLE.
+    pub fn fix_first_variable_par(&self, r: Fr, threads: usize) -> Self {
+        assert!(self.num_vars > 0, "cannot fix a variable of a constant");
+        let half = self.evals.len() / 2;
+        if threads <= 1 || half < (1 << 12) {
+            return self.fix_first_variable(r);
+        }
+        let mut out = vec![Fr::ZERO; half];
+        let chunk = half.div_ceil(threads);
+        let src = &self.evals;
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (i, o) in out_chunk.iter_mut().enumerate() {
+                        let j = start + i;
+                        let f0 = src[2 * j];
+                        let f1 = src[2 * j + 1];
+                        *o = f0 + r * (f1 - f0);
+                    }
+                });
+            }
+        });
+        Self {
+            evals: out,
+            num_vars: self.num_vars - 1,
+        }
+    }
+
     /// Evaluates the multilinear extension at an arbitrary field point.
     ///
     /// # Panics
@@ -217,6 +256,25 @@ mod tests {
         let fixed = f.fix_first_variable(r[0]);
         assert_eq!(fixed.num_vars(), 4);
         assert_eq!(fixed.evaluate(&r[1..]), f.evaluate(&r));
+    }
+
+    #[test]
+    fn fix_first_variable_par_matches_sequential() {
+        // Above and below the parallel threshold, any thread count must
+        // reproduce the sequential fold exactly.
+        for num_vars in [5usize, 13] {
+            let f = random_mle(num_vars, 20 + num_vars as u64);
+            let mut rng = StdRng::seed_from_u64(21);
+            let r = Fr::random(&mut rng);
+            let expected = f.fix_first_variable(r);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    f.fix_first_variable_par(r, threads),
+                    expected,
+                    "num_vars={num_vars} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

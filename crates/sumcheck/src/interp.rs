@@ -3,62 +3,112 @@
 //! A SumCheck round transmits the round polynomial `s_i` as its evaluations
 //! at `0, 1, ..., d` (paper §II-C3: "d+1 evaluations"); the verifier needs
 //! `s_i(r)` at the random challenge to form the next round's claim.
+//!
+//! The node set is the same in every round, so the barycentric weights
+//! `w_j = 1 / (j! (d-j)! (-1)^(d-j))` are precomputed once per proof with
+//! a single [`batch_inverse`] ([`BarycentricWeights`]) and each round's
+//! evaluation then costs only multiplications and additions — zero field
+//! inversions, the exact trade the paper's ModInv unit makes (§IV-B5).
 
 use zkphire_field::{batch_inverse, Fr};
 
+/// Precomputed barycentric weights for the nodes `0..=d`.
+///
+/// Constructing this costs one batch inversion; every subsequent
+/// [`interpolate`](Self::interpolate) call is inversion-free.
+#[derive(Clone, Debug)]
+pub struct BarycentricWeights {
+    /// `weights[j] = 1 / (j! (d-j)! (-1)^(d-j))`.
+    weights: Vec<Fr>,
+    /// The nodes `0..=d` as field elements, cached for the numerators.
+    nodes: Vec<Fr>,
+}
+
+impl BarycentricWeights {
+    /// Precomputes the weights for the degree-`d` node set `0..=d`.
+    pub fn new(degree: usize) -> Self {
+        let d = degree;
+        let nodes: Vec<Fr> = (0..=d as u64).map(Fr::from_u64).collect();
+        // denom_j = j! * (d-j)! * (-1)^(d-j), inverted in one batch.
+        let mut factorials = vec![Fr::ONE; d + 1];
+        for j in 1..=d {
+            factorials[j] = factorials[j - 1] * Fr::from_u64(j as u64);
+        }
+        let mut weights: Vec<Fr> = (0..=d)
+            .map(|j| {
+                let denom = factorials[j] * factorials[d - j];
+                if (d - j) % 2 == 1 {
+                    -denom
+                } else {
+                    denom
+                }
+            })
+            .collect();
+        batch_inverse(&mut weights);
+        Self { weights, nodes }
+    }
+
+    /// The degree `d` this weight set interpolates.
+    pub fn degree(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    /// Evaluates the degree-`d` polynomial through `(j, values[j])` at `r`
+    /// without performing any field inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != degree + 1`.
+    pub fn interpolate(&self, values: &[Fr], r: Fr) -> Fr {
+        assert_eq!(
+            values.len(),
+            self.weights.len(),
+            "evaluation count must match the weight set"
+        );
+        let d = self.degree();
+        if d == 0 {
+            return values[0];
+        }
+
+        // If r is itself one of the nodes, return the tabulated value (the
+        // barycentric numerators below would all vanish).
+        for (j, &v) in values.iter().enumerate() {
+            if r == self.nodes[j] {
+                return v;
+            }
+        }
+
+        // L_j(r) = w_j * prod_{k != j} (r - k), numerators via
+        // prefix/suffix products.
+        let mut prefix = vec![Fr::ONE; d + 2];
+        for j in 0..=d {
+            prefix[j + 1] = prefix[j] * (r - self.nodes[j]);
+        }
+        let mut suffix = vec![Fr::ONE; d + 2];
+        for j in (0..=d).rev() {
+            suffix[j] = suffix[j + 1] * (r - self.nodes[j]);
+        }
+
+        let mut acc = Fr::ZERO;
+        for j in 0..=d {
+            acc += values[j] * prefix[j] * suffix[j + 1] * self.weights[j];
+        }
+        acc
+    }
+}
+
 /// Evaluates the degree-`d` polynomial through `(j, values[j])` for
 /// `j = 0..=d` at the point `r`.
+///
+/// One-shot convenience over [`BarycentricWeights`]; callers evaluating
+/// many rounds of the same degree should construct the weights once.
 ///
 /// # Panics
 ///
 /// Panics if `values` is empty.
 pub fn interpolate_at(values: &[Fr], r: Fr) -> Fr {
     assert!(!values.is_empty(), "need at least one evaluation");
-    let d = values.len() - 1;
-    if d == 0 {
-        return values[0];
-    }
-
-    // If r is itself one of the nodes, return the tabulated value (the
-    // barycentric weights below would divide by zero).
-    for (j, &v) in values.iter().enumerate() {
-        if r == Fr::from_u64(j as u64) {
-            return v;
-        }
-    }
-
-    // L_j(r) = prod_{k != j} (r - k) / (j - k)
-    // Numerators via prefix/suffix products; denominators are factorials.
-    let nodes: Vec<Fr> = (0..=d as u64).map(Fr::from_u64).collect();
-    let mut prefix = vec![Fr::ONE; d + 2];
-    for j in 0..=d {
-        prefix[j + 1] = prefix[j] * (r - nodes[j]);
-    }
-    let mut suffix = vec![Fr::ONE; d + 2];
-    for j in (0..=d).rev() {
-        suffix[j] = suffix[j + 1] * (r - nodes[j]);
-    }
-
-    // denom_j = j! * (d-j)! * (-1)^(d-j)
-    let mut denoms: Vec<Fr> = Vec::with_capacity(d + 1);
-    let mut factorials = vec![Fr::ONE; d + 1];
-    for j in 1..=d {
-        factorials[j] = factorials[j - 1] * Fr::from_u64(j as u64);
-    }
-    for j in 0..=d {
-        let mut denom = factorials[j] * factorials[d - j];
-        if (d - j) % 2 == 1 {
-            denom = -denom;
-        }
-        denoms.push(denom);
-    }
-    batch_inverse(&mut denoms);
-
-    let mut acc = Fr::ZERO;
-    for j in 0..=d {
-        acc += values[j] * prefix[j] * suffix[j + 1] * denoms[j];
-    }
-    acc
+    BarycentricWeights::new(values.len() - 1).interpolate(values, r)
 }
 
 #[cfg(test)]
@@ -82,6 +132,24 @@ mod tests {
                 .collect();
             let r = Fr::random(&mut rng);
             assert_eq!(interpolate_at(&values, r), horner(&coeffs, r), "degree {d}");
+        }
+    }
+
+    #[test]
+    fn cached_weights_match_one_shot() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in [1usize, 3, 7, 31] {
+            let weights = BarycentricWeights::new(d);
+            assert_eq!(weights.degree(), d);
+            for _ in 0..4 {
+                let values: Vec<Fr> = (0..=d).map(|_| Fr::random(&mut rng)).collect();
+                let r = Fr::random(&mut rng);
+                assert_eq!(
+                    weights.interpolate(&values, r),
+                    interpolate_at(&values, r),
+                    "degree {d}"
+                );
+            }
         }
     }
 

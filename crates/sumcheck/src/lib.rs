@@ -39,8 +39,8 @@ mod prover;
 mod verifier;
 pub mod zerocheck;
 
-pub use interp::interpolate_at;
+pub use interp::{interpolate_at, BarycentricWeights};
 pub use ops::{coeff_needs_mul, count_ops, SumcheckOps};
-pub use prover::{prove, prove_instrumented, ProverOutput, SumCheckProof};
+pub use prover::{prove, prove_instrumented, prove_with_threads, ProverOutput, SumCheckProof};
 pub use verifier::{verify, verify_with_oracle, SumCheckError, VerifiedSumCheck};
-pub use zerocheck::{eq_eval, prove_zero_check, verify_zero_check};
+pub use zerocheck::{eq_eval, prove_zero_check, prove_zero_check_with_threads, verify_zero_check};

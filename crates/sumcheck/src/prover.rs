@@ -57,7 +57,8 @@ pub struct ProverOutput {
     pub challenges: Vec<Fr>,
 }
 
-/// Runs the multithreaded SumCheck prover.
+/// Runs the multithreaded SumCheck prover with one worker per available
+/// core. See [`prove_with_threads`] for an explicit thread count.
 ///
 /// `mles` must bind every slot of `poly` (see
 /// [`CompositePoly::validate_binding`]); the tables are consumed (they are
@@ -67,7 +68,24 @@ pub struct ProverOutput {
 ///
 /// Panics if the binding is invalid or the tables are zero-variable.
 pub fn prove(poly: &CompositePoly, mles: Vec<Mle>, transcript: &mut Transcript) -> ProverOutput {
-    prove_inner(poly, mles, transcript, None)
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    prove_with_threads(poly, mles, transcript, threads)
+}
+
+/// [`prove`] with an explicit worker-thread count.
+///
+/// Both the round evaluations and the MLE folds chunk the hypercube over
+/// disjoint ranges with a deterministic reduction order, so proofs and
+/// transcripts are bit-identical for every `threads` value (including 1).
+pub fn prove_with_threads(
+    poly: &CompositePoly,
+    mles: Vec<Mle>,
+    transcript: &mut Transcript,
+    threads: usize,
+) -> ProverOutput {
+    prove_inner(poly, mles, transcript, None, threads.max(1))
 }
 
 /// Single-threaded reference prover that additionally counts every field
@@ -78,7 +96,7 @@ pub fn prove_instrumented(
     transcript: &mut Transcript,
 ) -> (ProverOutput, SumcheckOps) {
     let mut ops = SumcheckOps::default();
-    let out = prove_inner(poly, mles, transcript, Some(&mut ops));
+    let out = prove_inner(poly, mles, transcript, Some(&mut ops), 1);
     (out, ops)
 }
 
@@ -87,6 +105,7 @@ fn prove_inner(
     mut mles: Vec<Mle>,
     transcript: &mut Transcript,
     mut counter: Option<&mut SumcheckOps>,
+    threads: usize,
 ) -> ProverOutput {
     poly.validate_binding(&mles);
     let num_vars = mles.first().expect("at least one MLE").num_vars();
@@ -106,7 +125,7 @@ fn prove_inner(
     for round in 0..num_vars {
         let evals = match counter.as_deref_mut() {
             Some(ops) => round_evals_counted(poly, &mles, k, ops),
-            None => round_evals_parallel(poly, &mles, k),
+            None => round_evals_parallel(poly, &mles, k, threads),
         };
         if round == 0 {
             claimed_sum = evals[0] + evals[1];
@@ -117,13 +136,13 @@ fn prove_inner(
         round_evals.push(evals);
         challenges.push(r);
 
-        for m in &mut mles {
-            if let Some(ops) = counter.as_deref_mut() {
+        if let Some(ops) = counter.as_deref_mut() {
+            for m in &mles {
                 ops.update_muls += (m.len() / 2) as u64;
                 ops.adds += m.len() as u64; // diff + add per surviving entry
             }
-            *m = m.fix_first_variable(r);
         }
+        fold_mles(&mut mles, r, threads);
     }
 
     let final_mle_evals = mles.iter().map(|m| m.evals()[0]).collect();
@@ -201,6 +220,36 @@ fn accumulate_pair(
     }
 }
 
+/// The paper's *MLE Update* kernel over the whole binding: every table is
+/// halved at the round challenge, parallelized across (and, when the slot
+/// count is small, within) the MLEs.
+fn fold_mles(mles: &mut [Mle], r: Fr, threads: usize) {
+    // Below ~2^13 total entries the folds cost less than spawning.
+    let total: usize = mles.iter().map(Mle::len).sum();
+    if threads <= 1 || total < (1 << 13) {
+        for m in mles.iter_mut() {
+            *m = m.fix_first_variable(r);
+        }
+    } else if mles.len() >= threads {
+        // Enough slots to keep every worker busy on whole tables.
+        let chunk = mles.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for group in mles.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for m in group {
+                        *m = m.fix_first_variable(r);
+                    }
+                });
+            }
+        });
+    } else {
+        // Few large tables: split each fold across the workers instead.
+        for m in mles.iter_mut() {
+            *m = m.fix_first_variable_par(r, threads);
+        }
+    }
+}
+
 fn round_evals_counted(
     poly: &CompositePoly,
     mles: &[Mle],
@@ -217,12 +266,9 @@ fn round_evals_counted(
     sums
 }
 
-fn round_evals_parallel(poly: &CompositePoly, mles: &[Mle], k: usize) -> Vec<Fr> {
+fn round_evals_parallel(poly: &CompositePoly, mles: &[Mle], k: usize, threads: usize) -> Vec<Fr> {
     let half = mles[0].len() / 2;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(half.max(1));
+    let threads = threads.min(half.max(1));
     if threads <= 1 || half < 1024 {
         let unique: Vec<usize> = poly.unique_mles().iter().map(|id| id.0).collect();
         let mut ext = vec![vec![Fr::ZERO; k]; poly.num_mles()];
@@ -322,6 +368,22 @@ mod tests {
         let (out2, _) = prove_instrumented(&poly, mles, &mut t2);
         assert_eq!(out1.proof, out2.proof);
         assert_eq!(out1.challenges, out2.challenges);
+    }
+
+    #[test]
+    fn every_thread_count_is_transcript_identical() {
+        // 2^11 evals crosses the parallel round-eval threshold (1024
+        // pairs), so the chunked path really runs.
+        let poly = test_poly();
+        let mles = random_mles(5, 11, 9);
+        let mut t1 = Transcript::new(b"test");
+        let reference = prove_with_threads(&poly, mles.clone(), &mut t1, 1);
+        for threads in [2usize, 3, 4, 7] {
+            let mut t = Transcript::new(b"test");
+            let out = prove_with_threads(&poly, mles.clone(), &mut t, threads);
+            assert_eq!(out.proof, reference.proof, "threads={threads}");
+            assert_eq!(out.challenges, reference.challenges, "threads={threads}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use zkphire_field::Fr;
 use zkphire_poly::{CompositePoly, Mle};
 use zkphire_transcript::Transcript;
 
-use crate::interp::interpolate_at;
+use crate::interp::BarycentricWeights;
 use crate::prover::SumCheckProof;
 
 /// Why a SumCheck proof was rejected.
@@ -110,6 +110,10 @@ pub fn verify(
     transcript.append_u64(b"sumcheck/num_vars", num_vars as u64);
     transcript.append_u64(b"sumcheck/degree", degree as u64);
 
+    // Every round interpolates on the same node set 0..=k-1: precompute
+    // the barycentric weights once (one batch inversion for the whole
+    // proof) so the per-round evaluation is inversion-free.
+    let weights = BarycentricWeights::new(k - 1);
     let mut challenges = Vec::with_capacity(num_vars);
     let mut claim = proof.claimed_sum;
     for (round, evals) in proof.round_evals.iter().enumerate() {
@@ -124,7 +128,7 @@ pub fn verify(
         }
         transcript.append_frs(b"sumcheck/round", evals);
         let r = transcript.challenge_fr(b"sumcheck/challenge");
-        claim = interpolate_at(evals, r);
+        claim = weights.interpolate(evals, r);
         challenges.push(r);
     }
 

@@ -12,7 +12,7 @@ use zkphire_field::Fr;
 use zkphire_poly::{CompositePoly, Mle, MleId};
 use zkphire_transcript::Transcript;
 
-use crate::prover::{prove, ProverOutput};
+use crate::prover::{prove_with_threads, ProverOutput};
 use crate::verifier::{verify, SumCheckError, VerifiedSumCheck};
 
 /// Evaluates `eq(x, r) = Π_j (x_j r_j + (1 - x_j)(1 - r_j))` at field
@@ -42,13 +42,28 @@ pub fn eq_eval(x: &[Fr], r: &[Fr]) -> Fr {
 pub fn prove_zero_check(
     gate: &CompositePoly,
     eq_slot: MleId,
+    mles: Vec<Mle>,
+    transcript: &mut Transcript,
+) -> (ProverOutput, Vec<Fr>) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    prove_zero_check_with_threads(gate, eq_slot, mles, transcript, threads)
+}
+
+/// [`prove_zero_check`] with an explicit worker-thread count (see
+/// [`prove_with_threads`]); transcripts are identical for every count.
+pub fn prove_zero_check_with_threads(
+    gate: &CompositePoly,
+    eq_slot: MleId,
     mut mles: Vec<Mle>,
     transcript: &mut Transcript,
+    threads: usize,
 ) -> (ProverOutput, Vec<Fr>) {
     let num_vars = mles.first().expect("at least one MLE").num_vars();
     let r = transcript.challenge_frs(b"zerocheck/r", num_vars);
     mles[eq_slot.0] = Mle::eq_table(&r);
-    let out = prove(gate, mles, transcript);
+    let out = prove_with_threads(gate, mles, transcript, threads);
     (out, r)
 }
 

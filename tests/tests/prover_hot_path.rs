@@ -1,0 +1,127 @@
+//! Property tests pinning the PR 5 prover hot-path rewrites to their
+//! slow-but-obviously-correct references: signed-digit batched-affine MSM
+//! against naive double-and-add (and the retained unsigned-window
+//! baseline), and the parallel SumCheck prover against the
+//! single-threaded transcript, on seeded random inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zkphire_curve::{msm_naive, msm_unsigned_with_ops, msm_with_ops_threads, G1Affine};
+use zkphire_field::Fr;
+use zkphire_poly::expr::{konst, var, GateExpr};
+use zkphire_poly::Mle;
+use zkphire_sumcheck::{prove_with_threads, verify_with_oracle};
+use zkphire_transcript::Transcript;
+
+/// Random MSM instances mixing the regimes the prover actually sees:
+/// dense uniform scalars, ~90%-sparse witness columns, 0/1 selector
+/// columns, and repeated points (maximal bucket collisions).
+fn msm_instance(n: usize, seed: u64) -> (Vec<G1Affine>, Vec<Fr>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let repeated = rng.gen_ratio(1, 4);
+    let base = G1Affine::random(&mut rng);
+    let points: Vec<G1Affine> = (0..n)
+        .map(|_| {
+            if repeated {
+                base
+            } else {
+                G1Affine::random(&mut rng)
+            }
+        })
+        .collect();
+    let scalars: Vec<Fr> = (0..n)
+        .map(|_| match rng.gen_range(0u8..4) {
+            0 => Fr::random(&mut rng),
+            1 => {
+                if rng.gen_ratio(9, 10) {
+                    Fr::ZERO
+                } else {
+                    Fr::random(&mut rng)
+                }
+            }
+            2 => Fr::from_u64(rng.gen_range(0..2)),
+            _ => Fr::from_u64(rng.gen_range(0..16)),
+        })
+        .collect();
+    (points, scalars)
+}
+
+/// Random gate expressions over `num_vars` MLE slots (same shape as the
+/// `property_suite` generator, kept local so the suites stay independent).
+fn arb_expr(num_vars: usize) -> impl Strategy<Value = GateExpr> {
+    let leaf = prop_oneof![(0..num_vars).prop_map(var), (-3i64..4).prop_map(konst)];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner, 1u32..4).prop_map(|(a, k)| a.pow(k)),
+        ]
+    })
+}
+
+fn random_mles(n: usize, mu: usize, seed: u64) -> Vec<Mle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Mle::from_fn(mu, |_| Fr::random(&mut rng)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Signed-digit batched-affine MSM equals naive double-and-add on
+    /// random instances, for every worker-thread count, with bit-identical
+    /// `MsmOps` across thread counts.
+    #[test]
+    fn signed_msm_matches_naive(n in 1usize..200, seed in 0u64..10_000) {
+        let (points, scalars) = msm_instance(n, seed);
+        let expected = msm_naive(&points, &scalars);
+        let (r1, o1) = msm_with_ops_threads(&points, &scalars, 1);
+        prop_assert_eq!(r1, expected);
+        for threads in [2usize, 4, 7] {
+            let (rt, ot) = msm_with_ops_threads(&points, &scalars, threads);
+            prop_assert_eq!(rt, expected);
+            prop_assert_eq!(ot, o1);
+        }
+    }
+
+    /// The signed rewrite agrees with the retained unsigned-window
+    /// baseline (the pre-PR-5 production path) on the same inputs.
+    #[test]
+    fn signed_msm_matches_unsigned_baseline(n in 1usize..200, seed in 0u64..10_000) {
+        let (points, scalars) = msm_instance(n, seed);
+        let (signed, _) = msm_with_ops_threads(&points, &scalars, 2);
+        let (unsigned, _) = msm_unsigned_with_ops(&points, &scalars);
+        prop_assert_eq!(signed, unsigned);
+    }
+
+    /// Parallel SumCheck provers produce proofs, challenges, and
+    /// transcript states bit-identical to the single-threaded reference
+    /// on random gates over random MLEs, and the proofs still verify.
+    #[test]
+    fn parallel_sumcheck_transcript_identical(e in arb_expr(3), seed in 0u64..1000) {
+        let poly = e.expand();
+        prop_assume!(poly.num_terms() > 0);
+        let mu = 5;
+        let mles = random_mles(poly.num_mles().max(1), mu, seed);
+
+        let mut t1 = Transcript::new(b"hotpath");
+        let reference = prove_with_threads(&poly, mles.clone(), &mut t1, 1);
+        let probe1 = t1.challenge_fr(b"hotpath/final-state");
+
+        for threads in [2usize, 4] {
+            let mut tn = Transcript::new(b"hotpath");
+            let out = prove_with_threads(&poly, mles.clone(), &mut tn, threads);
+            prop_assert_eq!(&out.proof, &reference.proof);
+            prop_assert_eq!(&out.challenges, &reference.challenges);
+            // Equal post-prove challenges pin the full transcript state,
+            // not just the proof fields.
+            prop_assert_eq!(tn.challenge_fr(b"hotpath/final-state"), probe1);
+        }
+
+        let mut tv = Transcript::new(b"hotpath");
+        prop_assert!(verify_with_oracle(&poly, &mles, &reference.proof, &mut tv).is_ok());
+    }
+}
