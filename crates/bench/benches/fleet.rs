@@ -61,7 +61,10 @@ fn bench_full_sim(c: &mut Criterion) {
             b.iter(|| {
                 let mut source = uniform_trace(class, requests, gap);
                 let cfg = FleetConfig::new(8).with_policy(policy);
-                simulate(&cfg, &mut source, &mut cost).summary.completed
+                simulate(&cfg, &mut source, &mut cost)
+                    .expect("valid config")
+                    .summary
+                    .completed
             })
         });
     }

@@ -95,7 +95,7 @@ fn detailed_run(static_chips: usize) -> SimReport {
             .with_cooldown_ms(2.0 * SPIN_UP_MS)
             .with_interval_ms(SPIN_UP_MS / 2.0),
         );
-    simulate(&cfg, &mut source, &mut cost)
+    simulate(&cfg, &mut source, &mut cost).expect("valid config")
 }
 
 /// The `autoscale` experiment: provisioning-cost table, per-tenant
@@ -189,7 +189,9 @@ pub fn autoscale() -> String {
             let cfg = FleetConfig::new(2)
                 .with_policy(policy)
                 .with_tenant_weights(flood.service_weights());
-            let s = simulate(&cfg, &mut source, &mut cost).summary;
+            let s = simulate(&cfg, &mut source, &mut cost)
+                .expect("valid config")
+                .summary;
             let light = s
                 .per_tenant
                 .iter()

@@ -1,0 +1,378 @@
+//! The `faults` experiment: what chip failures cost a proving service,
+//! and what the resilience layer buys back. Four deterministic studies:
+//!
+//! 1. a scripted 1-of-4-chip outage face-off — no-failure baseline vs a
+//!    fault-blind fleet vs retry-only vs retry + brown-out,
+//! 2. a random MTBF sweep of goodput degradation,
+//! 3. per-tenant admission caps against a 9:1 noisy-neighbor flood,
+//! 4. failure-aware N-1/N-2 fleet sizing via `zkphire-dse`.
+//!
+//! Everything is a pure function of the fixed seeds; CI diffs two runs
+//! byte for byte and the golden test locks the numbers.
+
+use zkphire_core::costdb::CostModel;
+use zkphire_core::protocol::Gate;
+use zkphire_core::system::ZkphireConfig;
+use zkphire_dse::{size_fleet, size_fleet_n_minus_k, FleetSlo};
+use zkphire_fleet::{
+    simulate, BrownOutConfig, ChipOutage, FaultConfig, FleetConfig, PoissonSource, PolicyKind,
+    RequestClass, RetryPolicy, SimReport, TenantMix, TenantProfile, WorkloadMix,
+};
+
+const SEED: u64 = 0xfa17;
+const FAULT_SEED: u64 = 0xdead_c41b;
+/// The service-level objective every variant is held to (p99, ms).
+const P99_SLO_MS: f64 = 120.0;
+/// Face-off fleet size and outage window: chip 0 dies at 2 s for 3 s of
+/// the 10 s horizon — long enough that the degraded fleet must carry
+/// steady-state load on 3 survivors, not just ride out a blip.
+const CHIPS: usize = 4;
+const HORIZON_MS: f64 = 10_000.0;
+const OUTAGE_AT_MS: f64 = 2_000.0;
+const OUTAGE_FOR_MS: f64 = 3_000.0;
+
+fn workload() -> WorkloadMix {
+    WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18))
+}
+
+/// Offered load: 85% of the 4-chip fleet's no-overhead service
+/// capacity — comfortable with all chips up, 113% of the surviving
+/// capacity during the outage.
+fn offered_rps(cost: &mut CostModel) -> f64 {
+    let per = cost.proof_ms(Gate::Jellyfish, 18);
+    0.85 * CHIPS as f64 * 1000.0 / per
+}
+
+fn one_chip_outage() -> FaultConfig {
+    FaultConfig::scripted(vec![ChipOutage::new(0, OUTAGE_AT_MS, OUTAGE_FOR_MS)])
+}
+
+fn face_off_run(cfg: FleetConfig) -> SimReport {
+    let mut cost = CostModel::exemplar();
+    let rate = offered_rps(&mut cost);
+    let mut source = PoissonSource::new(rate, HORIZON_MS, workload(), SEED);
+    simulate(&cfg, &mut source, &mut cost).expect("valid config")
+}
+
+/// The four face-off variants, in print order.
+fn face_off() -> Vec<(&'static str, SimReport)> {
+    vec![
+        ("baseline", face_off_run(FleetConfig::new(CHIPS))),
+        (
+            "naive",
+            face_off_run(FleetConfig::new(CHIPS).with_faults(one_chip_outage())),
+        ),
+        (
+            "retry-only",
+            face_off_run(
+                FleetConfig::new(CHIPS)
+                    .with_faults(one_chip_outage())
+                    .with_retry(RetryPolicy::new(4)),
+            ),
+        ),
+        (
+            "resilient",
+            face_off_run(
+                FleetConfig::new(CHIPS)
+                    .with_faults(one_chip_outage())
+                    .with_retry(RetryPolicy::new(4))
+                    .with_brown_out(BrownOutConfig::new(1.0, 6)),
+            ),
+        ),
+    ]
+}
+
+/// Noisy-neighbor admission study: tenant 1 floods 9:1 into one
+/// overloaded chip behind a shared queue bound; with and without a
+/// per-tenant cap on the flood.
+fn flood_runs() -> Vec<(&'static str, SimReport)> {
+    let mut cost = CostModel::exemplar();
+    let per = cost.proof_ms(Gate::Jellyfish, 18);
+    let rate = 1.6 * 1000.0 / per; // 1.6× one chip's capacity
+    let tm = TenantMix::new(vec![
+        TenantProfile::new(1, 9.0, workload()),
+        TenantProfile::new(2, 1.0, workload()),
+    ]);
+    let mut run = |cfg: FleetConfig| {
+        let mut source = PoissonSource::new(rate, 6_000.0, tm.clone(), SEED);
+        simulate(&cfg, &mut source, &mut cost).expect("valid config")
+    };
+    vec![
+        (
+            "blind",
+            run(FleetConfig::new(1)
+                .with_policy(PolicyKind::Fifo)
+                .with_queue_capacity(24)),
+        ),
+        (
+            "capped",
+            run(FleetConfig::new(1)
+                .with_policy(PolicyKind::Fifo)
+                .with_queue_capacity(24)
+                .with_tenant_caps(vec![(1, 12)])),
+        ),
+    ]
+}
+
+/// The `faults` experiment.
+pub fn faults() -> String {
+    use crate::fmt_table;
+
+    let mut cost = CostModel::exemplar();
+    let rate = offered_rps(&mut cost);
+    let mut out = format!(
+        "Scenario: {CHIPS} chips, Poisson {rate:.0} rps of J^18 (85% of fleet \
+         capacity), horizon {HORIZON_MS:.0} ms; chip 0 down \
+         {OUTAGE_AT_MS:.0}-{:.0} ms; p99 SLO {P99_SLO_MS:.0} ms\n\n",
+        OUTAGE_AT_MS + OUTAGE_FOR_MS,
+    );
+
+    // 1. Outage face-off.
+    let runs = face_off();
+    let baseline_goodput = runs[0].1.summary.goodput_rps;
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(label, r)| {
+            let s = &r.summary;
+            vec![
+                (*label).to_string(),
+                format!("{:.1}", s.goodput_rps),
+                format!("{:.2}", s.goodput_rps / baseline_goodput),
+                format!("{:.1}", s.throughput_rps),
+                format!("{:.2}", s.p99_latency_ms),
+                s.retries.to_string(),
+                s.lost.to_string(),
+                s.shed.to_string(),
+                if s.p99_latency_ms <= P99_SLO_MS {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+                format!("{:016x}", r.trace_hash),
+            ]
+        })
+        .collect();
+    out.push_str(&fmt_table(
+        "Outage face-off — 1 of 4 chips down 3 s under 85% load",
+        &[
+            "Config",
+            "Goodput",
+            "vs base",
+            "Thruput",
+            "p99 ms",
+            "Retry",
+            "Lost",
+            "Shed",
+            "SLO",
+            "Trace hash",
+        ],
+        &rows,
+    ));
+    let resilient = &runs[3].1;
+    out.push_str(&format!("Trace hash: {:016x}\n", resilient.trace_hash));
+
+    // 2. Random-failure MTBF sweep: goodput retention, naive vs
+    //    resilient, as chips get flakier.
+    let mut sweep_rows = Vec::new();
+    for mtbf_ms in [10_000.0, 5_000.0, 2_500.0] {
+        for (label, resilient) in [("naive", false), ("resilient", true)] {
+            let mut cfg = FleetConfig::new(CHIPS)
+                .with_faults(FaultConfig::random(mtbf_ms, 400.0, FAULT_SEED));
+            if resilient {
+                cfg = cfg
+                    .with_retry(RetryPolicy::new(4))
+                    .with_brown_out(BrownOutConfig::new(1.0, 6));
+            }
+            let r = face_off_run(cfg);
+            let s = &r.summary;
+            sweep_rows.push(vec![
+                format!("{:.0}", mtbf_ms),
+                label.to_string(),
+                s.chip_failures.to_string(),
+                format!("{:.1}", s.goodput_rps),
+                format!("{:.2}", s.goodput_rps / baseline_goodput),
+                format!("{:.2}", s.p99_latency_ms),
+                s.retries.to_string(),
+                s.lost.to_string(),
+                s.shed.to_string(),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&fmt_table(
+        "MTBF sweep — per-chip exponential failures, 400 ms MTTR",
+        &[
+            "MTBF ms", "Config", "Fails", "Goodput", "vs base", "p99 ms", "Retry", "Lost", "Shed",
+        ],
+        &sweep_rows,
+    ));
+
+    // 3. Per-tenant admission: the flood absorbs the rejections.
+    let flood = flood_runs();
+    let mut tenant_rows = Vec::new();
+    for (label, r) in &flood {
+        for t in &r.summary.per_tenant {
+            tenant_rows.push(vec![
+                (*label).to_string(),
+                t.tenant.to_string(),
+                t.completed.to_string(),
+                t.rejected.to_string(),
+                format!("{:.3}", t.slo_violation_rate),
+                format!("{:.2}", t.p99_latency_ms),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&fmt_table(
+        "Per-tenant admission — tenant 1 floods 9:1 into 1 chip, queue 24",
+        &["Config", "Tenant", "Done", "Rej", "SLOviol", "p99 ms"],
+        &tenant_rows,
+    ));
+
+    // 4. Failure-aware sizing: the redundancy an outage domain costs.
+    let chip = ZkphireConfig::exemplar();
+    let mut cost = CostModel::exemplar();
+    let per = cost.proof_ms(Gate::Jellyfish, 18);
+    let slo = FleetSlo {
+        arrival_rps: 3.0 * 1000.0 / per,
+        p99_ms: 20.0 * per,
+        queue_capacity: None,
+        max_reject_fraction: 0.0,
+        horizon_ms: 4_000.0,
+        seed: SEED,
+    };
+    let mut sizing_rows = Vec::new();
+    let plain = size_fleet(&chip, &workload(), PolicyKind::SizeClass, &slo, 32)
+        .expect("plain sizing feasible");
+    sizing_rows.push(("N", plain));
+    for k in [1usize, 2] {
+        let sized = size_fleet_n_minus_k(
+            &chip,
+            &workload(),
+            PolicyKind::SizeClass,
+            &slo,
+            32,
+            k,
+            RetryPolicy::new(5),
+            None,
+        )
+        .expect("N-k sizing feasible");
+        sizing_rows.push(if k == 1 {
+            ("N-1", sized)
+        } else {
+            ("N-2", sized)
+        });
+    }
+    let sizing_table: Vec<Vec<String>> = sizing_rows
+        .iter()
+        .map(|(label, s)| {
+            vec![
+                (*label).to_string(),
+                s.chips.to_string(),
+                format!("{:.0}", s.cost.total_area_mm2),
+                format!("{:.0}", s.cost.total_power_w),
+                format!("{:.2}", s.summary.p99_latency_ms),
+                s.summary.chip_failures.to_string(),
+            ]
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&fmt_table(
+        &format!(
+            "Failure-aware sizing — {:.0} rps, p99 <= {:.1} ms, sustained k-chip outage",
+            slo.arrival_rps, slo.p99_ms
+        ),
+        &["Domain", "Chips", "mm2", "W", "p99 ms", "Fails"],
+        &sizing_table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_meets_the_acceptance_bar() {
+        let runs = face_off();
+        let baseline = &runs[0].1.summary;
+        let naive = &runs[1].1.summary;
+        let resilient = &runs[3].1.summary;
+        // The fault-blind fleet violates the 120 ms p99 SLO.
+        assert!(
+            naive.p99_latency_ms > P99_SLO_MS,
+            "naive p99 {} under the SLO — outage too mild",
+            naive.p99_latency_ms
+        );
+        // Retries + brown-out keep goodput within 10% of no-failure.
+        assert!(
+            resilient.goodput_rps >= 0.9 * baseline.goodput_rps,
+            "resilient goodput {} vs baseline {}",
+            resilient.goodput_rps,
+            baseline.goodput_rps
+        );
+        // And the resilient fleet holds the SLO the naive one lost.
+        assert!(
+            resilient.p99_latency_ms <= P99_SLO_MS,
+            "resilient p99 {}",
+            resilient.p99_latency_ms
+        );
+        // Every variant conserves arrivals.
+        for (label, r) in &runs {
+            let s = &r.summary;
+            assert_eq!(
+                s.arrivals,
+                s.completed + s.rejected + s.shed + s.lost,
+                "{label} leaks requests"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_caps_protect_the_light_tenant() {
+        let runs = flood_runs();
+        let tenant = |r: &SimReport, id: u32| {
+            r.summary
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == id)
+                .cloned()
+                .expect("tenant present")
+        };
+        let blind_light = tenant(&runs[0].1, 2);
+        let capped_light = tenant(&runs[1].1, 2);
+        let capped_flood = tenant(&runs[1].1, 1);
+        // Blind shared queue: the flood crowds the light tenant out.
+        assert!(blind_light.rejected > 0, "flood never crowded the queue");
+        // Per-tenant caps: light tenant rejections near zero while the
+        // flood absorbs the admission pressure.
+        let light_offered = capped_light.offered().max(1);
+        assert!(
+            (capped_light.rejected as f64) / (light_offered as f64) < 0.01,
+            "light tenant still rejected {} of {}",
+            capped_light.rejected,
+            light_offered
+        );
+        assert!(capped_flood.rejected > 0, "cap never bound the flood");
+    }
+
+    #[test]
+    fn faults_experiment_is_deterministic() {
+        let a = faults();
+        let b = faults();
+        assert_eq!(a, b, "faults experiment must be reproducible");
+        for needle in [
+            "baseline",
+            "naive",
+            "retry-only",
+            "resilient",
+            "Trace hash",
+            "MTBF",
+            "N-1",
+            "N-2",
+        ] {
+            assert!(a.contains(needle), "missing {needle}");
+        }
+    }
+}

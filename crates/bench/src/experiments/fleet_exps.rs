@@ -32,7 +32,7 @@ pub fn fleet() -> String {
         for &rate in &rates {
             let mut source = PoissonSource::new(rate, HORIZON_MS, mix.clone(), SEED);
             let cfg = FleetConfig::new(chips);
-            let r = simulate(&cfg, &mut source, &mut cost);
+            let r = simulate(&cfg, &mut source, &mut cost).expect("valid config");
             let s = &r.summary;
             rows.push(vec![
                 chips.to_string(),
@@ -75,7 +75,9 @@ pub fn fleet() -> String {
     .map(|&policy| {
         let mut source = PoissonSource::new(900.0, HORIZON_MS, mix.clone(), SEED);
         let cfg = FleetConfig::new(2).with_policy(policy);
-        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        let s = simulate(&cfg, &mut source, &mut cost)
+            .expect("valid config")
+            .summary;
         vec![
             policy.name().to_string(),
             format!("{:.1}", s.throughput_rps),

@@ -2,6 +2,7 @@
 
 mod ablations;
 mod autoscale_exps;
+mod faults_exps;
 mod fleet_exps;
 mod perf_exps;
 mod sumcheck_exps;
@@ -10,6 +11,7 @@ mod workload_exps;
 
 pub use ablations::ablations;
 pub use autoscale_exps::autoscale;
+pub use faults_exps::faults;
 pub use fleet_exps::fleet;
 pub use perf_exps::{perf, perf_with_args};
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
@@ -17,7 +19,7 @@ pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "table1",
     "fig6",
     "fig7",
@@ -38,6 +40,7 @@ pub const ALL: [&str; 21] = [
     "ablations",
     "fleet",
     "autoscale",
+    "faults",
     "perf",
 ];
 
@@ -71,6 +74,7 @@ pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
         "ablations" => ablations(),
         "fleet" => fleet(),
         "autoscale" => autoscale(),
+        "faults" => faults(),
         "perf" => perf_with_args(args),
         _ => return None,
     })

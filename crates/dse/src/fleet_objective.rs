@@ -13,8 +13,8 @@
 use zkphire_core::costdb::CostModel;
 use zkphire_core::system::ZkphireConfig;
 use zkphire_fleet::{
-    simulate, AutoscaleConfig, FleetConfig, FleetSummary, OnOffSource, PoissonSource, PolicyKind,
-    ScaleKind, TenantMix, WorkloadMix,
+    simulate, AutoscaleConfig, BrownOutConfig, ChipOutage, FaultConfig, FleetConfig, FleetSummary,
+    OnOffSource, PoissonSource, PolicyKind, RetryPolicy, ScaleKind, TenantMix, WorkloadMix,
 };
 
 /// The service-level objective a fleet must meet.
@@ -118,7 +118,9 @@ pub fn evaluate_fleet_with(
     if let Some(cap) = slo.queue_capacity {
         fleet_cfg = fleet_cfg.with_queue_capacity(cap);
     }
-    simulate(&fleet_cfg, &mut source, cost).summary
+    simulate(&fleet_cfg, &mut source, cost)
+        .expect("sizing sweep built an invalid fleet config")
+        .summary
 }
 
 fn meets(summary: &FleetSummary, slo: &FleetSlo) -> bool {
@@ -198,6 +200,103 @@ pub fn size_fleet(
     })
 }
 
+/// Simulates `chips` chips under the SLO's traffic with `k` of them
+/// knocked out mid-run: a scripted outage takes chips `0..k` down at
+/// 25% of the horizon and holds them down for half the horizon, long
+/// enough that the degraded fleet must absorb steady-state load — not
+/// just a blip — on `chips - k` survivors. Lost in-flight work re-enters
+/// through `retry`, and latest-deadline work is shed once the pool drops
+/// below the `brown_out` threshold (pass `None` to forbid shedding).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_fleet_under_outage_with(
+    cost: &mut CostModel,
+    chips: usize,
+    k: usize,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    slo: &FleetSlo,
+    retry: RetryPolicy,
+    brown_out: Option<BrownOutConfig>,
+) -> FleetSummary {
+    assert!(
+        k < chips,
+        "outage of {k} chips leaves a {chips}-chip fleet empty"
+    );
+    let mut source = PoissonSource::new(slo.arrival_rps, slo.horizon_ms, mix.clone(), slo.seed);
+    let outages = (0..k)
+        .map(|i| ChipOutage::new(i, 0.25 * slo.horizon_ms, 0.5 * slo.horizon_ms))
+        .collect();
+    let mut fleet_cfg = FleetConfig::new(chips)
+        .with_policy(policy)
+        .with_faults(FaultConfig::scripted(outages))
+        .with_retry(retry);
+    if let Some(b) = brown_out {
+        fleet_cfg = fleet_cfg.with_brown_out(b);
+    }
+    if let Some(cap) = slo.queue_capacity {
+        fleet_cfg = fleet_cfg.with_queue_capacity(cap);
+    }
+    simulate(&fleet_cfg, &mut source, cost)
+        .expect("outage sweep built an invalid fleet config")
+        .summary
+}
+
+/// Whether a degraded run still honors the SLO: the p99 bound, with
+/// rejections, losses *and* sheds all counted against the rejection
+/// budget — under failures every non-served request is an SLO failure,
+/// whatever mechanism dropped it.
+fn meets_degraded(summary: &FleetSummary, slo: &FleetSlo) -> bool {
+    let failed = summary.rejected + summary.lost + summary.shed;
+    let fraction = if summary.arrivals > 0 {
+        failed as f64 / summary.arrivals as f64
+    } else {
+        0.0
+    };
+    summary.p99_latency_ms <= slo.p99_ms && fraction <= slo.max_reject_fraction
+}
+
+/// Failure-aware sizing: the smallest chip count in `[k+1, max_chips]`
+/// that still meets `slo` while any `k` chips are down for a sustained
+/// outage (N-1 sizing at `k = 1`, N-2 at `k = 2`, …). The margin over
+/// [`size_fleet`] is the redundancy the failure domain costs. Returns
+/// `None` when even `max_chips` cannot absorb the outage.
+#[allow(clippy::too_many_arguments)]
+pub fn size_fleet_n_minus_k(
+    cfg: &ZkphireConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    slo: &FleetSlo,
+    max_chips: usize,
+    k: usize,
+    retry: RetryPolicy,
+    brown_out: Option<BrownOutConfig>,
+) -> Option<FleetSizing> {
+    assert!(k < max_chips, "k = {k} leaves no survivors at max_chips");
+    let mut cost = CostModel::new(*cfg, true);
+    let (chips, summary) = smallest_feasible(
+        max_chips,
+        |n| {
+            if n <= k {
+                // Too few survivors to even run; report an infeasible
+                // sentinel so the search keeps growing the pool.
+                let mut s = evaluate_fleet_with(&mut cost, n.max(1), mix, policy, slo);
+                s.p99_latency_ms = f64::INFINITY;
+                s
+            } else {
+                evaluate_fleet_under_outage_with(
+                    &mut cost, n, k, mix, policy, slo, retry, brown_out,
+                )
+            }
+        },
+        |summary| meets_degraded(summary, slo),
+    )?;
+    Some(FleetSizing {
+        chips,
+        cost: fleet_cost(cfg, chips),
+        summary,
+    })
+}
+
 /// A bursty ON/OFF (interrupted-Poisson) traffic scenario — the
 /// workload shape where static peak sizing wastes the most silicon.
 #[derive(Clone, Debug)]
@@ -251,7 +350,9 @@ pub fn evaluate_burst_fleet_with(
     if let Some(a) = autoscale {
         fleet_cfg = fleet_cfg.with_autoscale(a);
     }
-    simulate(&fleet_cfg, &mut source, cost).summary
+    simulate(&fleet_cfg, &mut source, cost)
+        .expect("burst sweep built an invalid fleet config")
+        .summary
 }
 
 /// Sizes a *static* fleet against a p99 bound under ON/OFF bursts: the
@@ -427,6 +528,47 @@ mod tests {
         let sizing = size_fleet(&cfg, &mix(), PolicyKind::SizeClass, &slo, 32)
             .expect("feasible within 32 chips");
         assert!(sizing.chips > 1, "chips {}", sizing.chips);
+    }
+
+    #[test]
+    fn n_minus_one_sizing_buys_redundancy() {
+        let cfg = ZkphireConfig::exemplar();
+        let mut cost_db = CostModel::new(cfg, true);
+        let per_proof = cost_db.proof_ms(Gate::Jellyfish, 18);
+        let rate = 3.0 * 1000.0 / per_proof;
+        let slo = FleetSlo {
+            arrival_rps: rate,
+            p99_ms: 20.0 * per_proof,
+            queue_capacity: None,
+            max_reject_fraction: 0.0,
+            horizon_ms: 4_000.0,
+            seed: 21,
+        };
+        let plain = size_fleet(&cfg, &mix(), PolicyKind::SizeClass, &slo, 32)
+            .expect("feasible within 32 chips");
+        let n1 = size_fleet_n_minus_k(
+            &cfg,
+            &mix(),
+            PolicyKind::SizeClass,
+            &slo,
+            32,
+            1,
+            RetryPolicy::new(5),
+            None,
+        )
+        .expect("N-1 feasible within 32 chips");
+        // Surviving an outage can never need fewer chips.
+        assert!(
+            n1.chips >= plain.chips,
+            "N-1 {} vs plain {}",
+            n1.chips,
+            plain.chips
+        );
+        // The sizing run really degraded and recovered one chip.
+        assert_eq!(n1.summary.chip_failures, 1);
+        assert_eq!(n1.summary.chip_repairs, 1);
+        assert!(n1.summary.p99_latency_ms <= slo.p99_ms);
+        assert_eq!(n1.summary.rejected + n1.summary.lost + n1.summary.shed, 0);
     }
 
     #[test]

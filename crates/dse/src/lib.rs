@@ -28,8 +28,9 @@ pub mod pareto;
 pub mod space;
 
 pub use fleet_objective::{
-    compare_provisioning, evaluate_burst_fleet_with, evaluate_fleet, evaluate_fleet_with,
-    fleet_cost, size_fleet, size_fleet_burst, BurstScenario, FleetCost, FleetSizing, FleetSlo,
+    compare_provisioning, evaluate_burst_fleet_with, evaluate_fleet,
+    evaluate_fleet_under_outage_with, evaluate_fleet_with, fleet_cost, size_fleet,
+    size_fleet_burst, size_fleet_n_minus_k, BurstScenario, FleetCost, FleetSizing, FleetSlo,
     ProvisioningComparison, ProvisioningRow,
 };
 pub use objective::{select_design, sumcheck_dse, DesignScore, SumcheckDseResult};

@@ -25,6 +25,12 @@ impl Ord for SimTime {
 }
 
 /// What happens at a timestamp.
+///
+/// Several variants carry an `epoch`: the future-event list is a heap
+/// with no cancellation, so events that may be invalidated by a later
+/// state change (a batch lost to a chip failure, a failure armed for a
+/// chip the autoscaler since retired) are validated at pop time against
+/// the chip's current epoch counter and silently dropped when stale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A request arrives from the front-end (its id).
@@ -33,6 +39,9 @@ pub enum Event {
     BatchDone {
         /// Which chip.
         chip: usize,
+        /// Dispatch epoch captured at dispatch; stale (the batch was
+        /// lost to a chip failure) when it no longer matches.
+        epoch: u64,
     },
     /// A spinning-up chip comes online (scheduled `spin_up_ms` after
     /// the autoscaler's decision).
@@ -45,6 +54,29 @@ pub enum Event {
         /// Which chip.
         chip: usize,
     },
+    /// A chip fails (MTBF draw from the [`crate::fault::FaultModel`]);
+    /// any in-flight batch is lost.
+    ChipFail {
+        /// Which chip.
+        chip: usize,
+        /// Availability epoch captured when the failure was armed;
+        /// stale when the chip was retired/failed/recycled since.
+        epoch: u64,
+    },
+    /// A failed chip finishes repair (MTTR) and rejoins the pool.
+    ChipRepair {
+        /// Which chip.
+        chip: usize,
+        /// Availability epoch captured at failure time.
+        epoch: u64,
+    },
+    /// A scripted outage from [`crate::fault::FaultKind::Scripted`]
+    /// begins (index into the outage list; applied only if the chip is
+    /// online when it pops).
+    ScriptedFail(usize),
+    /// A lost or timed-out request re-enters admission after its
+    /// retry backoff (the request body is parked in the simulator).
+    Retry(u64),
     /// Periodic autoscaler evaluation point.
     ScaleTick,
 }
@@ -165,7 +197,7 @@ mod tests {
     #[test]
     fn clock_advances_monotonically() {
         let mut q = EventQueue::new();
-        q.push(1.5, Event::BatchDone { chip: 0 });
+        q.push(1.5, Event::BatchDone { chip: 0, epoch: 0 });
         q.push(1.5, Event::Arrival(0));
         q.push(9.0, Event::Arrival(1));
         let mut last = 0.0;

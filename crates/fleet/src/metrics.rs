@@ -37,6 +37,10 @@ pub struct TenantSummary {
     pub completed: u64,
     /// Requests refused at admission.
     pub rejected: u64,
+    /// Requests shed by brown-out degradation.
+    pub shed: u64,
+    /// Requests lost after exhausting their retry budget.
+    pub lost: u64,
     /// Mean sojourn latency (ms).
     pub mean_latency_ms: f64,
     /// Median latency (ms).
@@ -47,6 +51,18 @@ pub struct TenantSummary {
     pub p99_latency_ms: f64,
     /// Fraction of this tenant's completions past their deadline.
     pub deadline_miss_rate: f64,
+    /// SLO-violation rate over everything this tenant offered: late
+    /// completions plus rejections, sheds and losses, divided by
+    /// `completed + rejected + shed + lost` — the per-tenant answer to
+    /// "what fraction of my traffic did the service fail".
+    pub slo_violation_rate: f64,
+}
+
+impl TenantSummary {
+    /// Everything this tenant offered that reached a terminal outcome.
+    pub fn offered(&self) -> u64 {
+        self.completed + self.rejected + self.shed + self.lost
+    }
 }
 
 /// Jain's fairness index over per-tenant weight-normalized allocations
@@ -69,14 +85,34 @@ pub fn jain_index(allocations: &[f64]) -> f64 {
 /// Aggregate results of one fleet simulation.
 #[derive(Clone, Debug)]
 pub struct FleetSummary {
+    /// Requests that arrived from the traffic source. Conservation:
+    /// `arrivals == completed + rejected + shed + lost` once the run
+    /// drains (the property suite replays this from the trace).
+    pub arrivals: u64,
     /// Requests served to completion.
     pub completed: u64,
     /// Requests refused at admission (queue full).
     pub rejected: u64,
+    /// Requests shed by brown-out degradation (terminal, not retried).
+    pub shed: u64,
+    /// Requests lost for good: a chip failure or deadline expiry with
+    /// no retry budget left.
+    pub lost: u64,
+    /// Retry re-entries scheduled (one request may retry many times).
+    pub retries: u64,
+    /// Chip failures injected mid-run.
+    pub chip_failures: u64,
+    /// Chip repairs completed mid-run.
+    pub chip_repairs: u64,
     /// Timestamp of the last event (ms).
     pub makespan_ms: f64,
     /// Completed requests per second of simulated time.
     pub throughput_rps: f64,
+    /// *Useful* completions per second: only requests that finished
+    /// within their deadline count. Under failures this is the metric
+    /// that separates "the fleet stayed up" from "the fleet stayed
+    /// useful" — throughput counts late work, goodput does not.
+    pub goodput_rps: f64,
     /// Mean sojourn latency (ms).
     pub mean_latency_ms: f64,
     /// Median latency (ms).
@@ -132,10 +168,26 @@ pub struct RunAccumulators {
     pub max_queue_depth: usize,
     /// Batches dispatched.
     pub batches: u64,
+    /// Requests arrived from the source.
+    pub arrivals: u64,
     /// Requests refused at admission.
     pub rejected: u64,
     /// Per-tenant admission rejections.
     pub rejected_by_tenant: BTreeMap<TenantId, u64>,
+    /// Requests shed by brown-out degradation.
+    pub shed: u64,
+    /// Per-tenant brown-out sheds.
+    pub shed_by_tenant: BTreeMap<TenantId, u64>,
+    /// Requests lost past their retry budget.
+    pub lost: u64,
+    /// Per-tenant losses.
+    pub lost_by_tenant: BTreeMap<TenantId, u64>,
+    /// Retry re-entries scheduled.
+    pub retries: u64,
+    /// Chip failures injected.
+    pub chip_failures: u64,
+    /// Chip repairs completed.
+    pub chip_repairs: u64,
     /// Timestamp of the last event (ms).
     pub makespan_ms: f64,
     /// Integral of provisioned chips over time (chips × ms). Covers
@@ -191,7 +243,12 @@ pub fn summarize(
     for r in records {
         by_tenant.entry(r.tenant).or_default().push(r);
     }
-    for &tenant in acc.rejected_by_tenant.keys() {
+    for &tenant in acc
+        .rejected_by_tenant
+        .keys()
+        .chain(acc.shed_by_tenant.keys())
+        .chain(acc.lost_by_tenant.keys())
+    {
         by_tenant.entry(tenant).or_default();
     }
     let per_tenant: Vec<TenantSummary> = by_tenant
@@ -200,12 +257,18 @@ pub fn summarize(
             let mut lats: Vec<f64> = recs.iter().map(|r| r.latency_ms()).collect();
             lats.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
             let (t_mean, t_p50, t_p95, t_p99) = latency_stats(&lats);
-            let misses = recs.iter().filter(|r| !r.met_deadline()).count();
+            let misses = recs.iter().filter(|r| !r.met_deadline()).count() as u64;
+            let rejected = acc.rejected_by_tenant.get(&tenant).copied().unwrap_or(0);
+            let shed = acc.shed_by_tenant.get(&tenant).copied().unwrap_or(0);
+            let lost = acc.lost_by_tenant.get(&tenant).copied().unwrap_or(0);
+            let offered = recs.len() as u64 + rejected + shed + lost;
             TenantSummary {
                 tenant,
                 weight: weight_of(tenant),
                 completed: recs.len() as u64,
-                rejected: acc.rejected_by_tenant.get(&tenant).copied().unwrap_or(0),
+                rejected,
+                shed,
+                lost,
                 mean_latency_ms: t_mean,
                 p50_latency_ms: t_p50,
                 p95_latency_ms: t_p95,
@@ -214,6 +277,11 @@ pub fn summarize(
                     0.0
                 } else {
                     misses as f64 / recs.len() as f64
+                },
+                slo_violation_rate: if offered == 0 {
+                    0.0
+                } else {
+                    (misses + rejected + shed + lost) as f64 / offered as f64
                 },
             }
         })
@@ -237,12 +305,24 @@ pub fn summarize(
         0.0
     };
     let misses = records.iter().filter(|r| !r.met_deadline()).count();
+    let in_deadline = completed - misses as u64;
     FleetSummary {
+        arrivals: acc.arrivals,
         completed,
         rejected: acc.rejected,
+        shed: acc.shed,
+        lost: acc.lost,
+        retries: acc.retries,
+        chip_failures: acc.chip_failures,
+        chip_repairs: acc.chip_repairs,
         makespan_ms: makespan,
         throughput_rps: if makespan > 0.0 {
             completed as f64 / (makespan / 1000.0)
+        } else {
+            0.0
+        },
+        goodput_rps: if makespan > 0.0 {
+            in_deadline as f64 / (makespan / 1000.0)
         } else {
             0.0
         },

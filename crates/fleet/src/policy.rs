@@ -77,6 +77,29 @@ pub trait BatchPolicy {
 
     /// Requests currently queued.
     fn depth(&self) -> usize;
+
+    /// Removes and returns up to `n` queued requests with the *latest*
+    /// deadlines (ties broken by highest id, so the shed set is a total
+    /// order) — the brown-out shedding hook: under capacity loss the
+    /// simulator trims the queue by sacrificing the work most able to
+    /// absorb the delay.
+    fn drain_latest_deadline(&mut self, n: usize) -> Vec<Request>;
+}
+
+/// Index of the entry with the latest `(deadline, id)` — the shared
+/// victim-selection rule for brown-out shedding.
+fn latest_deadline_idx<'a, I>(iter: I) -> Option<usize>
+where
+    I: Iterator<Item = &'a Request>,
+{
+    iter.enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.deadline_ms
+                .partial_cmp(&b.deadline_ms)
+                .expect("NaN deadline")
+                .then(a.id.cmp(&b.id))
+        })
+        .map(|(i, _)| i)
 }
 
 /// See [`PolicyKind::Fifo`].
@@ -107,6 +130,17 @@ impl BatchPolicy for FifoPolicy {
 
     fn depth(&self) -> usize {
         self.queue.len()
+    }
+
+    fn drain_latest_deadline(&mut self, n: usize) -> Vec<Request> {
+        let mut shed = Vec::new();
+        while shed.len() < n {
+            let Some(idx) = latest_deadline_idx(self.queue.iter()) else {
+                break;
+            };
+            shed.push(self.queue.remove(idx).expect("index from iterator"));
+        }
+        shed
     }
 }
 
@@ -148,6 +182,34 @@ impl BatchPolicy for SizeClassPolicy {
 
     fn depth(&self) -> usize {
         self.depth
+    }
+
+    fn drain_latest_deadline(&mut self, n: usize) -> Vec<Request> {
+        let mut shed = Vec::new();
+        while shed.len() < n && self.depth > 0 {
+            // The latest-deadline request across all lanes.
+            let victim = self
+                .lanes
+                .iter()
+                .flat_map(|(class, lane)| {
+                    latest_deadline_idx(lane.iter()).map(|i| (*class, i, &lane[i]))
+                })
+                .max_by(|(_, _, a), (_, _, b)| {
+                    a.deadline_ms
+                        .partial_cmp(&b.deadline_ms)
+                        .expect("NaN deadline")
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|(class, i, _)| (class, i));
+            let Some((class, idx)) = victim else { break };
+            let lane = self.lanes.get_mut(&class).expect("lane exists");
+            shed.push(lane.remove(idx).expect("index from iterator"));
+            if lane.is_empty() {
+                self.lanes.remove(&class);
+            }
+            self.depth -= 1;
+        }
+        shed
     }
 }
 
@@ -216,6 +278,17 @@ impl BatchPolicy for EdfPolicy {
 
     fn depth(&self) -> usize {
         self.queue.len()
+    }
+
+    fn drain_latest_deadline(&mut self, n: usize) -> Vec<Request> {
+        let mut shed = Vec::new();
+        while shed.len() < n {
+            let Some(idx) = latest_deadline_idx(self.queue.iter()) else {
+                break;
+            };
+            shed.push(self.queue.swap_remove(idx));
+        }
+        shed
     }
 }
 
@@ -344,6 +417,42 @@ impl BatchPolicy for WeightedFairPolicy {
     fn depth(&self) -> usize {
         self.depth
     }
+
+    fn drain_latest_deadline(&mut self, n: usize) -> Vec<Request> {
+        let mut shed = Vec::new();
+        while shed.len() < n && self.depth > 0 {
+            // The latest-deadline request across all tenant queues.
+            let victim = self
+                .queues
+                .iter()
+                .flat_map(|(tenant, q)| latest_deadline_idx(q.iter()).map(|i| (*tenant, i, &q[i])))
+                .max_by(|(_, _, a), (_, _, b)| {
+                    a.deadline_ms
+                        .partial_cmp(&b.deadline_ms)
+                        .expect("NaN deadline")
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|(tenant, i, _)| (tenant, i));
+            let Some((tenant, idx)) = victim else { break };
+            let q = self.queues.get_mut(&tenant).expect("tenant exists");
+            shed.push(q.remove(idx).expect("index from iterator"));
+            self.depth -= 1;
+            if q.is_empty() {
+                // Drop the drained tenant from the rotation, resetting
+                // the round credit when it was the front (the next
+                // front starts a fresh round, same as in pop_batch).
+                self.queues.remove(&tenant);
+                self.deficits.remove(&tenant);
+                if let Some(pos) = self.rotation.iter().position(|&t| t == tenant) {
+                    self.rotation.remove(pos);
+                    if pos == 0 {
+                        self.front_credited = false;
+                    }
+                }
+            }
+        }
+        shed
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +478,7 @@ mod tests {
             class: RequestClass::new(gate, mu),
             arrival_ms: arrival,
             deadline_ms: deadline,
+            attempts: 0,
         }
     }
 
@@ -484,6 +594,63 @@ mod tests {
         let b = p.pop_batch(8).unwrap();
         assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
         assert!(p.pop_batch(8).is_none());
+    }
+
+    #[test]
+    fn shed_takes_latest_deadlines_first_under_every_policy() {
+        for kind in [
+            PolicyKind::Fifo,
+            PolicyKind::SizeClass,
+            PolicyKind::EarliestDeadline,
+            PolicyKind::WeightedFair,
+        ] {
+            let mut p = kind.build();
+            // Deadlines 10, 20, ..., 60 over two tenants and classes.
+            for i in 0..6u64 {
+                p.push(tenant_req(
+                    i,
+                    (i % 2) as TenantId,
+                    if i % 2 == 0 {
+                        Gate::Jellyfish
+                    } else {
+                        Gate::Vanilla
+                    },
+                    18,
+                    i as f64,
+                    10.0 * (i + 1) as f64,
+                ));
+            }
+            let shed = p.drain_latest_deadline(2);
+            let mut ids: Vec<u64> = shed.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![4, 5], "{kind:?} shed the wrong victims");
+            assert_eq!(p.depth(), 4, "{kind:?} depth after shed");
+            // Over-asking drains the queue and stops.
+            let rest = p.drain_latest_deadline(100);
+            assert_eq!(rest.len(), 4, "{kind:?}");
+            assert_eq!(p.depth(), 0, "{kind:?}");
+            assert!(p.pop_batch(8).is_none(), "{kind:?} queue not empty");
+        }
+    }
+
+    #[test]
+    fn drr_survives_shedding_mid_rotation() {
+        // Shedding the front tenant's whole queue mid-round must not
+        // corrupt the rotation: subsequent pops serve the survivor.
+        let mut p = WeightedFairPolicy::default();
+        p.push(tenant_req(0, 1, Gate::Jellyfish, 18, 0.0, 500.0));
+        p.push(tenant_req(1, 1, Gate::Jellyfish, 18, 1.0, 600.0));
+        p.push(tenant_req(2, 2, Gate::Vanilla, 20, 2.0, 50.0));
+        // Start tenant 1's round, leaving it credited at the front.
+        let b = p.pop_batch(1).unwrap();
+        assert_eq!(b[0].tenant, 1);
+        // Shed tenant 1's remaining request (latest deadline = id 1).
+        let shed = p.drain_latest_deadline(1);
+        assert_eq!(shed[0].id, 1);
+        let b = p.pop_batch(1).unwrap();
+        assert_eq!(b[0].id, 2);
+        assert_eq!(p.depth(), 0);
+        assert!(p.pop_batch(1).is_none());
     }
 
     #[test]

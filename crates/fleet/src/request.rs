@@ -49,6 +49,10 @@ pub struct Request {
     pub arrival_ms: f64,
     /// Absolute latency deadline (ms) — used by deadline-aware policies.
     pub deadline_ms: f64,
+    /// Retries consumed so far (0 = first service attempt). Bounded by
+    /// [`crate::fault::RetryPolicy::max_retries`]; a request needing
+    /// rescue past the budget is dropped as lost.
+    pub attempts: u32,
 }
 
 /// Completion record for one served request.
@@ -72,6 +76,9 @@ pub struct RequestRecord {
     pub chip: usize,
     /// Number of requests in the batch it rode in.
     pub batch_size: usize,
+    /// Retries this request consumed before completing (0 = served on
+    /// its first attempt).
+    pub attempts: u32,
 }
 
 impl RequestRecord {

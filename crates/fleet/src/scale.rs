@@ -142,6 +142,12 @@ pub struct ScaleObservation {
     pub busy_chips: usize,
     /// Chips spinning up (decided but not yet online).
     pub pending_up: usize,
+    /// Chips currently failed and under repair (fault injection). A
+    /// reactive policy sees capacity loss directly: the queue-depth
+    /// policy's backlog-per-chip rises as `online_chips` shrinks, so
+    /// failures organically recruit spare slots when the pool has
+    /// headroom.
+    pub failed_chips: usize,
     /// Pool floor from the config.
     pub min_chips: usize,
     /// Pool ceiling from the config.
@@ -306,6 +312,7 @@ mod tests {
             online_chips: online,
             busy_chips: busy,
             pending_up: pending,
+            failed_chips: 0,
             min_chips: 1,
             max_chips: 8,
         }

@@ -2,16 +2,91 @@
 //! the event engine. The pool itself is elastic: an optional
 //! [`AutoscaleConfig`] lets `ScaleTick` / `ChipUp` / `ChipDown` events
 //! vary the online chip count mid-run between configured bounds.
+//!
+//! On top of the happy path sits an opt-in resilience layer (see
+//! [`crate::fault`] and `docs/RESILIENCE.md`):
+//!
+//! * chip failures ([`FaultConfig`]) kill in-flight batches; the work
+//!   re-enters through the [`RetryPolicy`] or is lost for good,
+//! * deadline-expired requests are caught at dispatch and retried with
+//!   a fresh deadline instead of burning chip time on late work
+//!   (only when a retry policy is configured — legacy runs without one
+//!   serve late work and count it as a deadline miss, unchanged),
+//! * per-tenant queue caps bound how much of the shared queue a single
+//!   noisy tenant may hold,
+//! * brown-out ([`BrownOutConfig`]) sheds the latest-deadline work when
+//!   surviving capacity drops below a threshold.
+//!
+//! All of it is deterministic: a run is a pure function of
+//! `(config, seed)`, and [`SimReport::trace_hash`] certifies replay.
 
 use std::collections::BTreeMap;
 
 use crate::arrivals::ArrivalSource;
 use crate::events::{Event, EventQueue};
+use crate::fault::{BrownOutConfig, FaultConfig, FaultKind, FaultModel, RetryPolicy};
 use crate::metrics::{summarize, FleetSummary, RunAccumulators};
 use crate::policy::{BatchPolicy, PolicyKind};
 use crate::request::{Request, RequestClass, RequestRecord, TenantId};
-use crate::scale::{AutoscaleConfig, ScaleDecision, ScaleObservation, TenantWeights};
+use crate::rng::SplitMix64;
+use crate::scale::{
+    AutoscaleConfig, AutoscalePolicy, ScaleDecision, ScaleObservation, TenantWeights,
+};
 use zkphire_core::costdb::CostModel;
+
+/// Dedicated stream tag for retry-backoff jitter, XORed into the fault
+/// seed so jitter draws never alias the failure-timing stream.
+const RETRY_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Typed failure modes of [`simulate`]. Configuration mistakes and
+/// internal event-stream corruption surface here instead of panicking,
+/// so a service embedding the simulator (the DSE, a what-if endpoint)
+/// can refuse one bad scenario without dying.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The [`FleetConfig`] is unusable (zero chips, negative overhead,
+    /// a scripted outage naming a chip outside the pool, …).
+    InvalidConfig(String),
+    /// An `Arrival` event popped with no primed request body — the
+    /// arrival pipeline invariant (exactly one in flight) broke.
+    ArrivalWithoutPending {
+        /// The orphaned arrival's id.
+        id: u64,
+        /// Event time (ms).
+        time_ms: f64,
+    },
+    /// A `ScaleTick` popped in a run with no autoscaler configured.
+    TickWithoutAutoscaler {
+        /// Event time (ms).
+        time_ms: f64,
+    },
+    /// A `Retry` event popped for a request not parked in backoff.
+    UnknownRetry {
+        /// The unknown request id.
+        id: u64,
+        /// Event time (ms).
+        time_ms: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid fleet config: {why}"),
+            Self::ArrivalWithoutPending { id, time_ms } => {
+                write!(f, "arrival {id} at {time_ms} ms without pending request")
+            }
+            Self::TickWithoutAutoscaler { time_ms } => {
+                write!(f, "scale tick at {time_ms} ms without autoscaler")
+            }
+            Self::UnknownRetry { id, time_ms } => {
+                write!(f, "retry event at {time_ms} ms for unknown request {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Deployment and policy knobs for one simulation.
 #[derive(Clone, Debug)]
@@ -41,12 +116,26 @@ pub struct FleetConfig {
     /// Per-tenant service weights for [`PolicyKind::WeightedFair`] and
     /// the Jain fairness index; tenants absent here weigh 1.
     pub tenant_weights: TenantWeights,
+    /// Chip failure injection; `None` = chips never fail (legacy).
+    pub faults: Option<FaultConfig>,
+    /// Rescue for lost or deadline-expired work; `None` = no retries,
+    /// failed work is lost and late work is served anyway (legacy).
+    pub retry: Option<RetryPolicy>,
+    /// Graceful degradation under capacity loss; `None` = never shed.
+    pub brown_out: Option<BrownOutConfig>,
+    /// Per-tenant queued-request caps, overriding
+    /// `default_tenant_cap` for the listed tenants.
+    pub tenant_caps: Vec<(TenantId, usize)>,
+    /// Queued-request cap applied to tenants absent from
+    /// `tenant_caps`; `None` = unlimited (only the shared
+    /// `queue_capacity` applies).
+    pub default_tenant_cap: Option<usize>,
 }
 
 impl FleetConfig {
     /// A sensible default deployment: `chips` chips, size-class
     /// batching of up to 8, 1 ms reconfiguration, deadlines at
-    /// 5× isolated latency + 50 ms, fixed pool.
+    /// 5× isolated latency + 50 ms, fixed pool, no faults.
     pub fn new(chips: usize) -> Self {
         Self {
             chips,
@@ -58,6 +147,11 @@ impl FleetConfig {
             deadline_slack_ms: 50.0,
             autoscale: None,
             tenant_weights: Vec::new(),
+            faults: None,
+            retry: None,
+            brown_out: None,
+            tenant_caps: Vec::new(),
+            default_tenant_cap: None,
         }
     }
 
@@ -90,6 +184,46 @@ impl FleetConfig {
     pub fn with_tenant_weights(mut self, weights: TenantWeights) -> Self {
         self.tenant_weights = weights;
         self
+    }
+
+    /// Enables chip failure injection (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables retry of lost and deadline-expired work (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Enables brown-out shedding under capacity loss (builder style).
+    pub fn with_brown_out(mut self, brown_out: BrownOutConfig) -> Self {
+        self.brown_out = Some(brown_out);
+        self
+    }
+
+    /// Sets per-tenant queue caps (builder style).
+    pub fn with_tenant_caps(mut self, caps: Vec<(TenantId, usize)>) -> Self {
+        self.tenant_caps = caps;
+        self
+    }
+
+    /// Caps every tenant not listed in `tenant_caps` (builder style).
+    pub fn with_default_tenant_cap(mut self, cap: usize) -> Self {
+        self.default_tenant_cap = Some(cap);
+        self
+    }
+
+    /// The queued-request cap admission enforces for `tenant`:
+    /// its `tenant_caps` entry, else the default cap, else `None`.
+    pub fn tenant_cap(&self, tenant: TenantId) -> Option<usize> {
+        self.tenant_caps
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, cap)| *cap)
+            .or(self.default_tenant_cap)
     }
 }
 
@@ -148,6 +282,47 @@ pub enum TraceEntry {
         /// Chip index.
         chip: usize,
     },
+    /// A chip failed, losing any in-flight batch.
+    ChipFail {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+    },
+    /// A failed chip finished repair and rejoined the pool.
+    ChipRepair {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Chip index.
+        chip: usize,
+    },
+    /// A request entered retry backoff.
+    Retried {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Request id.
+        id: u64,
+        /// The retry number this backoff precedes (1-based).
+        attempt: u32,
+    },
+    /// A request was dropped past its retry budget.
+    Lost {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Request id.
+        id: u64,
+        /// Submitting tenant.
+        tenant: TenantId,
+    },
+    /// Brown-out shed a queued request.
+    Shed {
+        /// Event time (ms).
+        time_ms: f64,
+        /// Request id.
+        id: u64,
+        /// Submitting tenant.
+        tenant: TenantId,
+    },
 }
 
 /// Everything a run produces.
@@ -158,7 +333,7 @@ pub struct SimReport {
     /// Per-request completion records, in completion order.
     pub records: Vec<RequestRecord>,
     /// The full decision trace (admissions, dispatches, completions,
-    /// chip power transitions).
+    /// chip power transitions, failures, retries, sheds).
     pub trace: Vec<TraceEntry>,
     /// FNV-1a hash of the trace — two runs are identical iff equal.
     pub trace_hash: u64,
@@ -176,6 +351,9 @@ enum ChipState {
     /// Idle chip selected for decommission; its `ChipDown` event is in
     /// flight and dispatch must not grab it.
     Retiring,
+    /// Failed; invisible to dispatch and to the autoscaler until its
+    /// `ChipRepair` event brings it back.
+    Failed,
 }
 
 struct Chip {
@@ -184,6 +362,16 @@ struct Chip {
     busy_ms: f64,
     batch: Vec<Request>,
     batch_start_ms: f64,
+    /// When the in-flight batch would finish — lets a failure uncount
+    /// the service time it interrupted.
+    batch_done_ms: f64,
+    /// Bumped on every state transition; `ChipFail`/`ChipRepair`
+    /// events carry the epoch they were armed under and are dropped
+    /// stale if the chip moved on (the heap has no cancellation).
+    avail_epoch: u64,
+    /// Bumped per dispatch *and* on failure; validates `BatchDone`,
+    /// so a batch lost to a failure cannot also complete.
+    dispatch_epoch: u64,
 }
 
 impl Chip {
@@ -194,322 +382,709 @@ impl Chip {
 
 /// Runs the discrete-event simulation to completion: all arrivals from
 /// `source` flow through admission and batching onto the simulated chip
-/// pool, whose service times come from `cost` and whose size the
-/// optional autoscaler varies within its bounds.
+/// pool, whose service times come from `cost`, whose size the optional
+/// autoscaler varies within its bounds, and whose chips fail and repair
+/// per the optional fault model.
 pub fn simulate<S: ArrivalSource>(
     cfg: &FleetConfig,
     source: &mut S,
     cost: &mut CostModel,
-) -> SimReport {
-    assert!(cfg.chips > 0, "fleet of zero chips");
-    assert!(cfg.batch_overhead_ms >= 0.0);
+) -> Result<SimReport, SimError> {
+    if cfg.chips == 0 {
+        return Err(SimError::InvalidConfig("fleet of zero chips".into()));
+    }
+    if cfg.batch_overhead_ms < 0.0 || cfg.batch_overhead_ms.is_nan() {
+        return Err(SimError::InvalidConfig(format!(
+            "negative batch overhead {} ms",
+            cfg.batch_overhead_ms
+        )));
+    }
     let (slots, initial_online) = match &cfg.autoscale {
         Some(a) => (a.max_chips, cfg.chips.clamp(a.min_chips, a.max_chips)),
         None => (cfg.chips, cfg.chips),
     };
-    let mut queue = EventQueue::new();
-    let mut policy = cfg.policy.build_with(&cfg.tenant_weights);
-    let mut scaler = cfg.autoscale.as_ref().map(|a| a.kind.build());
-    let mut chips: Vec<Chip> = (0..slots)
-        .map(|i| Chip {
-            state: if i < initial_online {
-                ChipState::Up
-            } else {
-                ChipState::Off
-            },
-            busy: false,
-            busy_ms: 0.0,
-            batch: Vec::new(),
-            batch_start_ms: 0.0,
-        })
-        .collect();
-    let mut provisioned = initial_online;
-    let mut pending_up = 0usize;
-    let mut last_scale_action_ms = f64::NEG_INFINITY;
-    let mut records: Vec<RequestRecord> = Vec::new();
-    let mut trace: Vec<TraceEntry> = Vec::new();
-    let mut acc = RunAccumulators {
-        busy_ms: vec![0.0; slots],
-        depth_time_integral: 0.0,
-        max_queue_depth: 0,
-        batches: 0,
-        rejected: 0,
-        rejected_by_tenant: BTreeMap::new(),
-        makespan_ms: 0.0,
-        chip_time_integral_ms: 0.0,
-        peak_chips: initial_online,
-        scale_ups: 0,
-        scale_downs: 0,
+    if let Some(FaultConfig {
+        kind: FaultKind::Scripted { outages },
+        ..
+    }) = &cfg.faults
+    {
+        if let Some(bad) = outages.iter().find(|o| o.chip >= slots) {
+            return Err(SimError::InvalidConfig(format!(
+                "scripted outage names chip {} of a {slots}-slot pool",
+                bad.chip
+            )));
+        }
+    }
+    let fault_seed = cfg.faults.as_ref().map_or(0, |f| f.seed);
+    let mut engine = Engine {
+        cfg,
+        queue: EventQueue::new(),
+        policy: cfg.policy.build_with(&cfg.tenant_weights),
+        scaler: cfg.autoscale.as_ref().map(|a| a.kind.build()),
+        faults: cfg.faults.clone().map(FaultModel::new),
+        retry_rng: SplitMix64::new(fault_seed ^ RETRY_STREAM),
+        chips: (0..slots)
+            .map(|i| Chip {
+                state: if i < initial_online {
+                    ChipState::Up
+                } else {
+                    ChipState::Off
+                },
+                busy: false,
+                busy_ms: 0.0,
+                batch: Vec::new(),
+                batch_start_ms: 0.0,
+                batch_done_ms: 0.0,
+                avail_epoch: 0,
+                dispatch_epoch: 0,
+            })
+            .collect(),
+        provisioned: initial_online,
+        pending_up: 0,
+        last_scale_action_ms: f64::NEG_INFINITY,
+        initial_online,
+        records: Vec::new(),
+        trace: Vec::new(),
+        acc: RunAccumulators {
+            busy_ms: vec![0.0; slots],
+            depth_time_integral: 0.0,
+            max_queue_depth: 0,
+            batches: 0,
+            arrivals: 0,
+            rejected: 0,
+            rejected_by_tenant: BTreeMap::new(),
+            shed: 0,
+            shed_by_tenant: BTreeMap::new(),
+            lost: 0,
+            lost_by_tenant: BTreeMap::new(),
+            retries: 0,
+            chip_failures: 0,
+            chip_repairs: 0,
+            makespan_ms: 0.0,
+            chip_time_integral_ms: 0.0,
+            peak_chips: initial_online,
+            scale_ups: 0,
+            scale_downs: 0,
+        },
+        parked: BTreeMap::new(),
+        tenant_queued: BTreeMap::new(),
+        pending: None,
+        next_id: 0,
     };
+    engine.run(source, cost)
+}
 
-    // One arrival in flight at a time; the request body is parked here
-    // until its event pops.
-    let mut next_id: u64 = 0;
-    let prime = |source: &mut S, queue: &mut EventQueue, next_id: &mut u64| -> Option<Request> {
+/// The simulator's mutable state plus the event-loop handlers. One
+/// instance per [`simulate`] call; the arrival source and cost model
+/// stay outside (they are the caller's) and thread through as method
+/// arguments.
+struct Engine<'a> {
+    cfg: &'a FleetConfig,
+    queue: EventQueue,
+    policy: Box<dyn BatchPolicy>,
+    scaler: Option<Box<dyn AutoscalePolicy>>,
+    faults: Option<FaultModel>,
+    /// Backoff-jitter stream, decoupled from failure timing.
+    retry_rng: SplitMix64,
+    chips: Vec<Chip>,
+    provisioned: usize,
+    pending_up: usize,
+    last_scale_action_ms: f64,
+    initial_online: usize,
+    records: Vec<RequestRecord>,
+    trace: Vec<TraceEntry>,
+    acc: RunAccumulators,
+    /// Requests sitting out a retry backoff, keyed by id.
+    parked: BTreeMap<u64, Request>,
+    /// Queued-request count per tenant (admission caps).
+    tenant_queued: BTreeMap<TenantId, usize>,
+    /// The one arrival in flight; its body parks here until its event
+    /// pops.
+    pending: Option<Request>,
+    next_id: u64,
+}
+
+impl Engine<'_> {
+    fn run<S: ArrivalSource>(
+        &mut self,
+        source: &mut S,
+        cost: &mut CostModel,
+    ) -> Result<SimReport, SimError> {
+        self.pending = self.prime(source, cost);
+        if self.pending.is_some() {
+            if let Some(a) = &self.cfg.autoscale {
+                self.queue.push(a.interval_ms, Event::ScaleTick);
+            }
+            for chip in 0..self.initial_online {
+                self.arm_failure(chip, 0.0);
+            }
+            let outages = self.faults.as_ref().map_or(0, |f| f.outages().len());
+            for i in 0..outages {
+                let at = self
+                    .faults
+                    .as_ref()
+                    .expect("outages imply faults")
+                    .outages()[i]
+                    .at_ms;
+                self.queue.push(at, Event::ScriptedFail(i));
+            }
+        }
+
+        let mut last_time = 0.0;
+        while let Some((now, event)) = self.queue.pop() {
+            self.acc.depth_time_integral += self.policy.depth() as f64 * (now - last_time);
+            self.acc.chip_time_integral_ms += self.provisioned as f64 * (now - last_time);
+            last_time = now;
+            // Fault events dropped as stale (epoch mismatch) or moot
+            // (no work left) must not stretch the makespan: an armed
+            // failure popping long after the last completion would
+            // otherwise dilute throughput and goodput.
+            let effectful = match event {
+                Event::Arrival(id) => {
+                    self.on_arrival(id, now, source, cost)?;
+                    true
+                }
+                Event::BatchDone { chip, epoch } => {
+                    self.on_batch_done(chip, epoch, now);
+                    true
+                }
+                Event::ChipUp { chip } => {
+                    self.on_chip_up(chip, now);
+                    true
+                }
+                Event::ChipDown { chip } => {
+                    self.on_chip_down(chip, now);
+                    true
+                }
+                Event::ChipFail { chip, epoch } => self.on_chip_fail(chip, epoch, now),
+                Event::ChipRepair { chip, epoch } => self.on_chip_repair(chip, epoch, now),
+                Event::ScriptedFail(idx) => self.on_scripted_fail(idx, now),
+                Event::Retry(id) => {
+                    self.on_retry(id, now, cost)?;
+                    true
+                }
+                Event::ScaleTick => {
+                    self.on_scale_tick(now)?;
+                    true
+                }
+            };
+            if effectful {
+                self.acc.makespan_ms = now;
+            }
+            self.shed_if_browned_out(now);
+            self.dispatch(cost);
+        }
+
+        for (i, c) in self.chips.iter().enumerate() {
+            assert!(!c.busy, "chip {i} still busy at drain");
+            self.acc.busy_ms[i] = c.busy_ms;
+        }
+        assert_eq!(
+            self.policy.depth(),
+            0,
+            "requests stranded in queue at drain"
+        );
+        assert!(
+            self.parked.is_empty(),
+            "requests stranded in backoff at drain"
+        );
+        assert_eq!(
+            self.acc.arrivals,
+            self.records.len() as u64 + self.acc.rejected + self.acc.shed + self.acc.lost,
+            "terminal outcomes do not conserve arrivals"
+        );
+        let trace_hash = hash_trace(&self.trace);
+        Ok(SimReport {
+            summary: summarize(&self.records, &self.acc, &self.cfg.tenant_weights),
+            records: std::mem::take(&mut self.records),
+            trace: std::mem::take(&mut self.trace),
+            trace_hash,
+        })
+    }
+
+    /// Pulls the next arrival from the source, schedules its event, and
+    /// returns its request body — deadline already filled (no policy
+    /// ever observes a placeholder).
+    fn prime<S: ArrivalSource>(&mut self, source: &mut S, cost: &mut CostModel) -> Option<Request> {
         source.next_arrival().map(|(t, class, tenant)| {
-            let id = *next_id;
-            *next_id += 1;
-            queue.push(t, Event::Arrival(id));
+            let id = self.next_id;
+            self.next_id += 1;
+            self.queue.push(t, Event::Arrival(id));
             Request {
                 id,
                 tenant,
                 class,
                 arrival_ms: t,
-                // Deadline filled at admission (needs the cost model).
-                deadline_ms: f64::INFINITY,
+                deadline_ms: t
+                    + self.cfg.deadline_slack_ms
+                    + self.cfg.deadline_factor * cost.proof_ms(class.gate, class.mu),
+                attempts: 0,
             }
         })
-    };
-    let mut pending: Option<Request> = prime(source, &mut queue, &mut next_id);
-    if let Some(a) = &cfg.autoscale {
-        if pending.is_some() {
-            queue.push(a.interval_ms, Event::ScaleTick);
-        }
     }
 
-    let mut last_time = 0.0;
-    while let Some((now, event)) = queue.pop() {
-        acc.depth_time_integral += policy.depth() as f64 * (now - last_time);
-        acc.chip_time_integral_ms += provisioned as f64 * (now - last_time);
-        last_time = now;
-        acc.makespan_ms = now;
-        match event {
-            Event::Arrival(id) => {
-                let mut req = pending.take().expect("arrival without pending request");
-                debug_assert_eq!(req.id, id);
-                // Pull the next arrival before admission so the event
-                // stream ordering never depends on queue state.
-                pending = prime(source, &mut queue, &mut next_id);
-                let full = cfg.queue_capacity.is_some_and(|cap| policy.depth() >= cap);
-                if full {
-                    acc.rejected += 1;
-                    *acc.rejected_by_tenant.entry(req.tenant).or_insert(0) += 1;
-                    trace.push(TraceEntry::Rejected {
-                        time_ms: now,
-                        id: req.id,
-                        tenant: req.tenant,
-                    });
-                } else {
-                    req.deadline_ms = now
-                        + cfg.deadline_slack_ms
-                        + cfg.deadline_factor * cost.proof_ms(req.class.gate, req.class.mu);
-                    trace.push(TraceEntry::Admitted {
-                        time_ms: now,
-                        id: req.id,
-                        tenant: req.tenant,
-                    });
-                    policy.push(req);
-                    acc.max_queue_depth = acc.max_queue_depth.max(policy.depth());
-                }
+    /// Whether admission must refuse more work from `tenant`: its
+    /// per-tenant cap first, then the shared queue capacity.
+    fn admission_full(&self, tenant: TenantId) -> bool {
+        if let Some(cap) = self.cfg.tenant_cap(tenant) {
+            if self.tenant_queued.get(&tenant).copied().unwrap_or(0) >= cap {
+                return true;
             }
-            Event::BatchDone { chip } => {
-                let c = &mut chips[chip];
-                let size = c.batch.len();
-                for r in c.batch.drain(..) {
-                    records.push(RequestRecord {
-                        id: r.id,
-                        tenant: r.tenant,
-                        class: r.class,
-                        arrival_ms: r.arrival_ms,
-                        deadline_ms: r.deadline_ms,
-                        start_ms: c.batch_start_ms,
-                        finish_ms: now,
-                        chip,
-                        batch_size: size,
-                    });
-                }
-                c.busy = false;
-                trace.push(TraceEntry::Completed {
+        }
+        self.cfg
+            .queue_capacity
+            .is_some_and(|cap| self.policy.depth() >= cap)
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        *self.tenant_queued.entry(req.tenant).or_insert(0) += 1;
+        self.policy.push(req);
+        self.acc.max_queue_depth = self.acc.max_queue_depth.max(self.policy.depth());
+    }
+
+    fn note_dequeued(&mut self, req: &Request) {
+        let n = self
+            .tenant_queued
+            .get_mut(&req.tenant)
+            .expect("dequeued tenant was never queued");
+        *n -= 1;
+    }
+
+    fn on_arrival<S: ArrivalSource>(
+        &mut self,
+        id: u64,
+        now: f64,
+        source: &mut S,
+        cost: &mut CostModel,
+    ) -> Result<(), SimError> {
+        let req = self
+            .pending
+            .take()
+            .ok_or(SimError::ArrivalWithoutPending { id, time_ms: now })?;
+        debug_assert_eq!(req.id, id);
+        // Pull the next arrival before admission so the event stream
+        // ordering never depends on queue state.
+        self.pending = self.prime(source, cost);
+        self.acc.arrivals += 1;
+        if self.admission_full(req.tenant) {
+            self.acc.rejected += 1;
+            *self.acc.rejected_by_tenant.entry(req.tenant).or_insert(0) += 1;
+            self.trace.push(TraceEntry::Rejected {
+                time_ms: now,
+                id: req.id,
+                tenant: req.tenant,
+            });
+        } else {
+            self.trace.push(TraceEntry::Admitted {
+                time_ms: now,
+                id: req.id,
+                tenant: req.tenant,
+            });
+            self.enqueue(req);
+        }
+        Ok(())
+    }
+
+    /// Sends rescued work back through the retry policy, or drops it as
+    /// lost when the budget is spent (or no policy is configured).
+    fn route_retry_or_lost(&mut self, mut req: Request, now: f64) {
+        match self.cfg.retry {
+            Some(p) if req.attempts < p.max_retries => {
+                req.attempts += 1;
+                self.acc.retries += 1;
+                let backoff = p.backoff_ms(req.attempts, &mut self.retry_rng);
+                self.trace.push(TraceEntry::Retried {
                     time_ms: now,
-                    chip,
-                    size,
+                    id: req.id,
+                    attempt: req.attempts,
+                });
+                self.queue.push(now + backoff, Event::Retry(req.id));
+                self.parked.insert(req.id, req);
+            }
+            _ => {
+                self.acc.lost += 1;
+                *self.acc.lost_by_tenant.entry(req.tenant).or_insert(0) += 1;
+                self.trace.push(TraceEntry::Lost {
+                    time_ms: now,
+                    id: req.id,
+                    tenant: req.tenant,
                 });
             }
-            Event::ChipUp { chip } => {
-                let c = &mut chips[chip];
-                debug_assert_eq!(c.state, ChipState::Pending);
-                c.state = ChipState::Up;
-                pending_up -= 1;
-                acc.scale_ups += 1;
-                trace.push(TraceEntry::ChipUp { time_ms: now, chip });
-            }
-            Event::ChipDown { chip } => {
-                let c = &mut chips[chip];
-                debug_assert_eq!(c.state, ChipState::Retiring);
-                debug_assert!(!c.busy, "retiring a busy chip");
-                c.state = ChipState::Off;
-                provisioned -= 1;
-                acc.scale_downs += 1;
-                trace.push(TraceEntry::ChipDown { time_ms: now, chip });
-            }
-            Event::ScaleTick => {
-                let a = cfg.autoscale.as_ref().expect("tick without autoscaler");
-                let scaler = scaler.as_mut().expect("tick without autoscaler");
-                let online = chips.iter().filter(|c| c.state == ChipState::Up).count();
-                let busy = chips
-                    .iter()
-                    .filter(|c| c.state == ChipState::Up && c.busy)
-                    .count();
-                let obs = ScaleObservation {
-                    now_ms: now,
-                    queue_depth: policy.depth(),
-                    online_chips: online,
-                    busy_chips: busy,
-                    pending_up,
-                    min_chips: a.min_chips,
-                    max_chips: a.max_chips,
-                };
-                if now - last_scale_action_ms >= a.cooldown_ms {
-                    let acted = apply_decision(
-                        scaler.decide(&obs),
-                        a,
-                        &obs,
-                        &mut chips,
-                        &mut queue,
-                        &mut provisioned,
-                        &mut pending_up,
-                        &mut acc,
-                    );
-                    if acted {
-                        last_scale_action_ms = now;
-                    }
-                }
-                // Keep ticking only while the system still has work:
-                // arrivals to come, queued or running batches, or
-                // chips mid-spin-up.
-                let work_remains = pending.is_some()
-                    || policy.depth() > 0
-                    || pending_up > 0
-                    || chips.iter().any(|c| c.busy);
-                if work_remains {
-                    queue.push(now + a.interval_ms, Event::ScaleTick);
-                }
-            }
-        }
-        dispatch(
-            cfg,
-            &mut queue,
-            policy.as_mut(),
-            &mut chips,
-            cost,
-            &mut acc,
-            &mut trace,
-        );
-    }
-
-    for (i, c) in chips.iter().enumerate() {
-        assert!(!c.busy, "chip {i} still busy at drain");
-        acc.busy_ms[i] = c.busy_ms;
-    }
-    assert_eq!(policy.depth(), 0, "requests stranded in queue at drain");
-    let trace_hash = hash_trace(&trace);
-    SimReport {
-        summary: summarize(&records, &acc, &cfg.tenant_weights),
-        records,
-        trace,
-        trace_hash,
-    }
-}
-
-/// Realizes one autoscaler decision, clamped to the pool bounds and to
-/// the chips actually available. Returns whether anything changed.
-#[allow(clippy::too_many_arguments)]
-fn apply_decision(
-    decision: ScaleDecision,
-    a: &AutoscaleConfig,
-    obs: &ScaleObservation,
-    chips: &mut [Chip],
-    queue: &mut EventQueue,
-    provisioned: &mut usize,
-    pending_up: &mut usize,
-    acc: &mut RunAccumulators,
-) -> bool {
-    let now = queue.now();
-    match decision {
-        ScaleDecision::Hold => false,
-        ScaleDecision::Up(want) => {
-            let headroom = a.max_chips.saturating_sub(obs.committed_chips());
-            let add = want.min(headroom);
-            let mut added = 0;
-            for (i, c) in chips.iter_mut().enumerate() {
-                if added == add {
-                    break;
-                }
-                if c.state == ChipState::Off {
-                    c.state = ChipState::Pending;
-                    *provisioned += 1;
-                    *pending_up += 1;
-                    queue.push(now + a.spin_up_ms, Event::ChipUp { chip: i });
-                    added += 1;
-                }
-            }
-            acc.peak_chips = acc.peak_chips.max(*provisioned);
-            added > 0
-        }
-        ScaleDecision::Down(want) => {
-            // Only idle online chips retire, and never below the floor.
-            // The floor counts *online* chips only (not spin-ups in
-            // flight), so the serving pool itself never dips under
-            // `min_chips` — an invariant the property suite replays
-            // from the trace.
-            let idle = obs.online_chips - obs.busy_chips;
-            let above_floor = obs.online_chips.saturating_sub(a.min_chips);
-            let drop = want.min(idle).min(above_floor);
-            let mut dropped = 0;
-            // Highest index first, keeping low slots stable/hot.
-            for (i, c) in chips.iter_mut().enumerate().rev() {
-                if dropped == drop {
-                    break;
-                }
-                if c.state == ChipState::Up && !c.busy {
-                    c.state = ChipState::Retiring;
-                    queue.push(now, Event::ChipDown { chip: i });
-                    dropped += 1;
-                }
-            }
-            dropped > 0
         }
     }
-}
 
-fn dispatch(
-    cfg: &FleetConfig,
-    queue: &mut EventQueue,
-    policy: &mut dyn BatchPolicy,
-    chips: &mut [Chip],
-    cost: &mut CostModel,
-    acc: &mut RunAccumulators,
-    trace: &mut Vec<TraceEntry>,
-) {
-    let now = queue.now();
-    loop {
-        if policy.depth() == 0 {
+    fn on_retry(&mut self, id: u64, now: f64, cost: &mut CostModel) -> Result<(), SimError> {
+        let mut req = self
+            .parked
+            .remove(&id)
+            .ok_or(SimError::UnknownRetry { id, time_ms: now })?;
+        if self.admission_full(req.tenant) {
+            // Re-admission refused: park again (another attempt) or
+            // lose. Rejection is terminal only for fresh arrivals.
+            self.route_retry_or_lost(req, now);
+        } else {
+            // A fresh deadline — the old one is already blown or at
+            // risk; latency still accrues from the original arrival.
+            req.deadline_ms = now
+                + self.cfg.deadline_slack_ms
+                + self.cfg.deadline_factor * cost.proof_ms(req.class.gate, req.class.mu);
+            self.enqueue(req);
+        }
+        Ok(())
+    }
+
+    fn on_batch_done(&mut self, chip: usize, epoch: u64, now: f64) {
+        let c = &mut self.chips[chip];
+        if c.dispatch_epoch != epoch {
+            // The batch this event announced was lost to a failure.
             return;
         }
-        let Some(chip_idx) = chips.iter().position(Chip::dispatchable) else {
+        let size = c.batch.len();
+        let start = c.batch_start_ms;
+        let batch = std::mem::take(&mut c.batch);
+        c.busy = false;
+        for r in batch {
+            self.records.push(RequestRecord {
+                id: r.id,
+                tenant: r.tenant,
+                class: r.class,
+                arrival_ms: r.arrival_ms,
+                deadline_ms: r.deadline_ms,
+                start_ms: start,
+                finish_ms: now,
+                chip,
+                batch_size: size,
+                attempts: r.attempts,
+            });
+        }
+        self.trace.push(TraceEntry::Completed {
+            time_ms: now,
+            chip,
+            size,
+        });
+    }
+
+    fn on_chip_up(&mut self, chip: usize, now: f64) {
+        let c = &mut self.chips[chip];
+        debug_assert_eq!(c.state, ChipState::Pending);
+        c.state = ChipState::Up;
+        c.avail_epoch += 1;
+        self.pending_up -= 1;
+        self.acc.scale_ups += 1;
+        self.trace.push(TraceEntry::ChipUp { time_ms: now, chip });
+        self.arm_failure(chip, now);
+    }
+
+    fn on_chip_down(&mut self, chip: usize, now: f64) {
+        let c = &mut self.chips[chip];
+        debug_assert_eq!(c.state, ChipState::Retiring);
+        debug_assert!(!c.busy, "retiring a busy chip");
+        c.state = ChipState::Off;
+        c.avail_epoch += 1;
+        self.provisioned -= 1;
+        self.acc.scale_downs += 1;
+        self.trace.push(TraceEntry::ChipDown { time_ms: now, chip });
+    }
+
+    /// Arms the next random failure of an online chip — only while the
+    /// run still has work, so trailing fail/repair cycles cannot keep
+    /// an otherwise-drained simulation alive.
+    fn arm_failure(&mut self, chip: usize, now: f64) {
+        if !self.work_remains() {
+            return;
+        }
+        let Some(f) = self.faults.as_mut() else {
             return;
         };
-        let batch = policy
-            .pop_batch(cfg.max_batch)
-            .expect("depth > 0 implies a batch");
-        let service_ms: f64 = cfg.batch_overhead_ms
-            + batch
-                .iter()
-                .map(|r| cost.proof_ms(r.class.gate, r.class.mu))
-                .sum::<f64>();
-        let c = &mut chips[chip_idx];
-        c.busy = true;
-        c.busy_ms += service_ms;
-        c.batch_start_ms = now;
-        trace.push(TraceEntry::Dispatched {
-            time_ms: now,
-            chip: chip_idx,
-            first_id: batch[0].id,
-            size: batch.len(),
-        });
-        c.batch = batch;
-        acc.batches += 1;
-        queue.push(now + service_ms, Event::BatchDone { chip: chip_idx });
+        let Some(delay) = f.next_failure_ms() else {
+            return;
+        };
+        let epoch = self.chips[chip].avail_epoch;
+        self.queue
+            .push(now + delay, Event::ChipFail { chip, epoch });
+    }
+
+    fn on_chip_fail(&mut self, chip: usize, epoch: u64, now: f64) -> bool {
+        let c = &self.chips[chip];
+        if c.avail_epoch != epoch || c.state != ChipState::Up || !self.work_remains() {
+            return false;
+        }
+        let repair_at = now
+            + self
+                .faults
+                .as_mut()
+                .expect("fail without model")
+                .next_repair_ms();
+        self.fail_chip(chip, now, repair_at);
+        true
+    }
+
+    fn on_scripted_fail(&mut self, idx: usize, now: f64) -> bool {
+        let outage = self
+            .faults
+            .as_ref()
+            .expect("scripted fail without model")
+            .outages()[idx];
+        if self.chips[outage.chip].state != ChipState::Up || !self.work_remains() {
+            return false;
+        }
+        self.fail_chip(outage.chip, now, now + outage.down_for_ms);
+        true
+    }
+
+    /// Takes a chip down: the in-flight batch (if any) is lost and
+    /// rerouted through retry, service time it never rendered is
+    /// uncounted, and the repair event is scheduled.
+    fn fail_chip(&mut self, chip: usize, now: f64, repair_at: f64) {
+        let c = &mut self.chips[chip];
+        debug_assert_eq!(c.state, ChipState::Up);
+        c.state = ChipState::Failed;
+        c.avail_epoch += 1;
+        let epoch = c.avail_epoch;
+        let lost_batch = if c.busy {
+            c.busy = false;
+            c.busy_ms -= c.batch_done_ms - now;
+            c.dispatch_epoch += 1; // invalidate the in-flight BatchDone
+            std::mem::take(&mut c.batch)
+        } else {
+            Vec::new()
+        };
+        self.provisioned -= 1;
+        self.acc.chip_failures += 1;
+        self.trace.push(TraceEntry::ChipFail { time_ms: now, chip });
+        self.queue
+            .push(repair_at, Event::ChipRepair { chip, epoch });
+        for r in lost_batch {
+            self.route_retry_or_lost(r, now);
+        }
+    }
+
+    fn on_chip_repair(&mut self, chip: usize, epoch: u64, now: f64) -> bool {
+        let c = &mut self.chips[chip];
+        if c.avail_epoch != epoch || c.state != ChipState::Failed {
+            return false;
+        }
+        c.state = ChipState::Up;
+        c.avail_epoch += 1;
+        self.provisioned += 1;
+        self.acc.peak_chips = self.acc.peak_chips.max(self.provisioned);
+        self.acc.chip_repairs += 1;
+        self.trace
+            .push(TraceEntry::ChipRepair { time_ms: now, chip });
+        self.arm_failure(chip, now);
+        true
+    }
+
+    fn online_count(&self) -> usize {
+        self.chips
+            .iter()
+            .filter(|c| c.state == ChipState::Up)
+            .count()
+    }
+
+    /// Whether the run still has anything to do: future arrivals,
+    /// queued or in-flight batches, chips spinning up, or requests
+    /// parked in retry backoff.
+    fn work_remains(&self) -> bool {
+        self.pending.is_some()
+            || self.policy.depth() > 0
+            || self.pending_up > 0
+            || !self.parked.is_empty()
+            || self.chips.iter().any(|c| c.busy)
+    }
+
+    fn on_scale_tick(&mut self, now: f64) -> Result<(), SimError> {
+        let Some(a) = self.cfg.autoscale.clone() else {
+            return Err(SimError::TickWithoutAutoscaler { time_ms: now });
+        };
+        if self.scaler.is_none() {
+            return Err(SimError::TickWithoutAutoscaler { time_ms: now });
+        }
+        let online = self.online_count();
+        let busy = self
+            .chips
+            .iter()
+            .filter(|c| c.state == ChipState::Up && c.busy)
+            .count();
+        let failed = self
+            .chips
+            .iter()
+            .filter(|c| c.state == ChipState::Failed)
+            .count();
+        let obs = ScaleObservation {
+            now_ms: now,
+            queue_depth: self.policy.depth(),
+            online_chips: online,
+            busy_chips: busy,
+            pending_up: self.pending_up,
+            failed_chips: failed,
+            min_chips: a.min_chips,
+            max_chips: a.max_chips,
+        };
+        if now - self.last_scale_action_ms >= a.cooldown_ms {
+            let decision = self.scaler.as_mut().expect("checked above").decide(&obs);
+            if self.apply_decision(decision, &a, &obs) {
+                self.last_scale_action_ms = now;
+            }
+        }
+        // Keep ticking only while the system still has work.
+        if self.work_remains() {
+            self.queue.push(now + a.interval_ms, Event::ScaleTick);
+        }
+        Ok(())
+    }
+
+    /// Realizes one autoscaler decision, clamped to the pool bounds and
+    /// to the chips actually available. Returns whether anything
+    /// changed.
+    fn apply_decision(
+        &mut self,
+        decision: ScaleDecision,
+        a: &AutoscaleConfig,
+        obs: &ScaleObservation,
+    ) -> bool {
+        let now = self.queue.now();
+        match decision {
+            ScaleDecision::Hold => false,
+            ScaleDecision::Up(want) => {
+                let headroom = a.max_chips.saturating_sub(obs.committed_chips());
+                let add = want.min(headroom);
+                let mut added = 0;
+                for i in 0..self.chips.len() {
+                    if added == add {
+                        break;
+                    }
+                    let c = &mut self.chips[i];
+                    if c.state == ChipState::Off {
+                        c.state = ChipState::Pending;
+                        c.avail_epoch += 1;
+                        self.provisioned += 1;
+                        self.pending_up += 1;
+                        self.queue
+                            .push(now + a.spin_up_ms, Event::ChipUp { chip: i });
+                        added += 1;
+                    }
+                }
+                self.acc.peak_chips = self.acc.peak_chips.max(self.provisioned);
+                added > 0
+            }
+            ScaleDecision::Down(want) => {
+                // Only idle online chips retire, and never below the
+                // floor. The floor counts *online* chips only (not
+                // spin-ups in flight), so the serving pool itself never
+                // dips under `min_chips` — an invariant the property
+                // suite replays from the trace.
+                let idle = obs.online_chips - obs.busy_chips;
+                let above_floor = obs.online_chips.saturating_sub(a.min_chips);
+                let drop = want.min(idle).min(above_floor);
+                let mut dropped = 0;
+                // Highest index first, keeping low slots stable/hot.
+                for i in (0..self.chips.len()).rev() {
+                    if dropped == drop {
+                        break;
+                    }
+                    let c = &mut self.chips[i];
+                    if c.state == ChipState::Up && !c.busy {
+                        c.state = ChipState::Retiring;
+                        c.avail_epoch += 1;
+                        self.queue.push(now, Event::ChipDown { chip: i });
+                        dropped += 1;
+                    }
+                }
+                dropped > 0
+            }
+        }
+    }
+
+    /// Brown-out: when surviving capacity is below the configured
+    /// fraction of the initial pool, trim the queue to what the
+    /// survivors can plausibly serve by shedding the latest-deadline
+    /// work. Shedding is terminal.
+    fn shed_if_browned_out(&mut self, now: f64) {
+        let Some(b) = self.cfg.brown_out else { return };
+        let online = self.online_count();
+        if (online as f64) >= b.capacity_threshold * self.initial_online as f64 {
+            return;
+        }
+        let target = b.max_queue_per_chip * online;
+        let depth = self.policy.depth();
+        if depth <= target {
+            return;
+        }
+        let victims = self.policy.drain_latest_deadline(depth - target);
+        for v in victims {
+            self.note_dequeued(&v);
+            self.acc.shed += 1;
+            *self.acc.shed_by_tenant.entry(v.tenant).or_insert(0) += 1;
+            self.trace.push(TraceEntry::Shed {
+                time_ms: now,
+                id: v.id,
+                tenant: v.tenant,
+            });
+        }
+    }
+
+    fn dispatch(&mut self, cost: &mut CostModel) {
+        let now = self.queue.now();
+        loop {
+            if self.policy.depth() == 0 {
+                return;
+            }
+            let Some(chip_idx) = self.chips.iter().position(Chip::dispatchable) else {
+                return;
+            };
+            let batch = self
+                .policy
+                .pop_batch(self.cfg.max_batch)
+                .expect("depth > 0 implies a batch");
+            for r in &batch {
+                let n = self
+                    .tenant_queued
+                    .get_mut(&r.tenant)
+                    .expect("dequeued tenant was never queued");
+                *n -= 1;
+            }
+            // With a retry policy, deadline-expired work is caught here
+            // and recycled instead of burning chip time; without one
+            // (legacy) it is served late and counted as a miss.
+            let (live, expired): (Vec<Request>, Vec<Request>) = if self.cfg.retry.is_some() {
+                batch.into_iter().partition(|r| r.deadline_ms > now)
+            } else {
+                (batch, Vec::new())
+            };
+            for r in expired {
+                self.route_retry_or_lost(r, now);
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let service_ms: f64 = self.cfg.batch_overhead_ms
+                + live
+                    .iter()
+                    .map(|r| cost.proof_ms(r.class.gate, r.class.mu))
+                    .sum::<f64>();
+            let c = &mut self.chips[chip_idx];
+            c.busy = true;
+            c.busy_ms += service_ms;
+            c.batch_start_ms = now;
+            c.batch_done_ms = now + service_ms;
+            c.dispatch_epoch += 1;
+            self.trace.push(TraceEntry::Dispatched {
+                time_ms: now,
+                chip: chip_idx,
+                first_id: live[0].id,
+                size: live.len(),
+            });
+            c.batch = live;
+            self.acc.batches += 1;
+            self.queue.push(
+                now + service_ms,
+                Event::BatchDone {
+                    chip: chip_idx,
+                    epoch: c.dispatch_epoch,
+                },
+            );
+        }
     }
 }
 
@@ -576,6 +1151,46 @@ fn hash_trace(trace: &[TraceEntry]) -> u64 {
                 mix(time_ms.to_bits());
                 mix(chip as u64);
             }
+            TraceEntry::ChipFail { time_ms, chip } => {
+                mix(7);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
+            }
+            TraceEntry::ChipRepair { time_ms, chip } => {
+                mix(8);
+                mix(time_ms.to_bits());
+                mix(chip as u64);
+            }
+            TraceEntry::Retried {
+                time_ms,
+                id,
+                attempt,
+            } => {
+                mix(9);
+                mix(time_ms.to_bits());
+                mix(id);
+                mix(u64::from(attempt));
+            }
+            TraceEntry::Lost {
+                time_ms,
+                id,
+                tenant,
+            } => {
+                mix(10);
+                mix(time_ms.to_bits());
+                mix(id);
+                mix(u64::from(tenant));
+            }
+            TraceEntry::Shed {
+                time_ms,
+                id,
+                tenant,
+            } => {
+                mix(11);
+                mix(time_ms.to_bits());
+                mix(id);
+                mix(u64::from(tenant));
+            }
         }
     }
     h
@@ -583,6 +1198,8 @@ fn hash_trace(trace: &[TraceEntry]) -> u64 {
 
 /// Convenience wrapper: Poisson traffic from the Tables VI/VII mix on
 /// `chips` exemplar chips — the "one obvious call" for experiments.
+/// Panics on the config errors [`simulate`] reports, which this
+/// wrapper's fixed configuration cannot produce.
 pub fn simulate_poisson_fleet(
     chips: usize,
     rate_rps: f64,
@@ -596,7 +1213,7 @@ pub fn simulate_poisson_fleet(
     let mix = WorkloadMix::table_vii_jellyfish(21);
     let mut source = PoissonSource::new(rate_rps, horizon_ms, mix, seed);
     let cfg = FleetConfig::new(chips).with_policy(policy);
-    simulate(&cfg, &mut source, &mut cost)
+    simulate(&cfg, &mut source, &mut cost).expect("fixed config is valid")
 }
 
 /// A single-class trace helper used by tests and benches.
@@ -612,6 +1229,7 @@ pub fn uniform_trace(
 mod tests {
     use super::*;
     use crate::arrivals::{OnOffSource, PoissonSource};
+    use crate::fault::ChipOutage;
     use crate::mix::{TenantMix, TenantProfile, WorkloadMix};
     use crate::scale::ScaleKind;
     use zkphire_core::protocol::Gate;
@@ -621,7 +1239,7 @@ mod tests {
         let mix = WorkloadMix::table_vii_jellyfish(19);
         let mut source = PoissonSource::new(40.0, 2_000.0, mix, seed);
         let cfg = FleetConfig::new(3).with_policy(policy);
-        simulate(&cfg, &mut source, &mut cost)
+        simulate(&cfg, &mut source, &mut cost).expect("sim")
     }
 
     fn two_tenant_mix() -> TenantMix {
@@ -643,7 +1261,12 @@ mod tests {
                     .with_cooldown_ms(100.0)
                     .with_interval_ms(25.0),
             );
-        simulate(&cfg, &mut source, &mut cost)
+        simulate(&cfg, &mut source, &mut cost).expect("sim")
+    }
+
+    fn conserved(r: &SimReport) -> bool {
+        r.summary.arrivals
+            == r.summary.completed + r.summary.rejected + r.summary.shed + r.summary.lost
     }
 
     #[test]
@@ -658,6 +1281,7 @@ mod tests {
             assert!(r.summary.completed > 0, "{policy:?}");
             assert_eq!(r.summary.rejected, 0);
             assert_eq!(r.records.len() as u64, r.summary.completed);
+            assert!(conserved(&r), "{policy:?}");
         }
     }
 
@@ -680,9 +1304,10 @@ mod tests {
             .with_policy(PolicyKind::Fifo)
             .with_max_batch(1)
             .with_queue_capacity(4);
-        let r = simulate(&cfg, &mut source, &mut cost);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("sim");
         assert!(r.summary.rejected > 0);
         assert!(r.summary.max_queue_depth <= 4);
+        assert!(conserved(&r));
     }
 
     #[test]
@@ -694,7 +1319,7 @@ mod tests {
         let class = RequestClass::new(Gate::Jellyfish, 16);
         let mut source = uniform_trace(class, 50, 100.0);
         let cfg = FleetConfig::new(4).with_queue_capacity(0);
-        let r = simulate(&cfg, &mut source, &mut cost);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("sim");
         assert_eq!(r.summary.completed, 0);
         assert_eq!(r.summary.rejected, 50);
         assert!(r.records.is_empty());
@@ -706,9 +1331,9 @@ mod tests {
         let mix = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18));
         let cfg = FleetConfig::new(2);
         let mut light_src = PoissonSource::new(10.0, 5_000.0, mix.clone(), 5);
-        let light = simulate(&cfg, &mut light_src, &mut cost);
+        let light = simulate(&cfg, &mut light_src, &mut cost).expect("sim");
         let mut heavy_src = PoissonSource::new(400.0, 5_000.0, mix, 5);
-        let heavy = simulate(&cfg, &mut heavy_src, &mut cost);
+        let heavy = simulate(&cfg, &mut heavy_src, &mut cost).expect("sim");
         assert!(light.summary.mean_utilization > 0.0);
         assert!(heavy.summary.mean_utilization > light.summary.mean_utilization);
         assert!(heavy.summary.mean_utilization <= 1.0 + 1e-9);
@@ -727,12 +1352,12 @@ mod tests {
         let count = 400;
         let batched_cfg = FleetConfig::new(1).with_max_batch(16);
         let mut src = uniform_trace(class, count, gap);
-        let batched = simulate(&batched_cfg, &mut src, &mut cost);
+        let batched = simulate(&batched_cfg, &mut src, &mut cost).expect("sim");
         let serial_cfg = FleetConfig::new(1)
             .with_policy(PolicyKind::Fifo)
             .with_max_batch(1);
         let mut src = uniform_trace(class, count, gap);
-        let serial = simulate(&serial_cfg, &mut src, &mut cost);
+        let serial = simulate(&serial_cfg, &mut src, &mut cost).expect("sim");
         assert!(batched.summary.mean_batch_size > 1.5);
         assert!(
             batched.summary.p99_latency_ms < serial.summary.p99_latency_ms,
@@ -789,11 +1414,11 @@ mod tests {
         let mut cost = CostModel::exemplar();
         let mix = WorkloadMix::table_vii_jellyfish(19);
         let mut src_a = PoissonSource::new(150.0, 3_000.0, mix.clone(), 9);
-        let fixed = simulate(&FleetConfig::new(3), &mut src_a, &mut cost);
+        let fixed = simulate(&FleetConfig::new(3), &mut src_a, &mut cost).expect("sim");
         let mut src_b = PoissonSource::new(150.0, 3_000.0, mix, 9);
         let scaled_cfg =
             FleetConfig::new(3).with_autoscale(AutoscaleConfig::new(ScaleKind::Static, 3, 3));
-        let auto = simulate(&scaled_cfg, &mut src_b, &mut cost);
+        let auto = simulate(&scaled_cfg, &mut src_b, &mut cost).expect("sim");
         // Static autoscaling must not change what requests experience.
         assert_eq!(fixed.summary.completed, auto.summary.completed);
         assert_eq!(auto.summary.scale_ups, 0);
@@ -832,7 +1457,7 @@ mod tests {
                 .with_policy(policy)
                 .with_max_batch(4)
                 .with_tenant_weights(tm.service_weights());
-            simulate(&cfg, &mut source, &mut cost)
+            simulate(&cfg, &mut source, &mut cost).expect("sim")
         };
         let blind = run(PolicyKind::Fifo);
         let fair = run(PolicyKind::WeightedFair);
@@ -857,5 +1482,241 @@ mod tests {
             let sum: u64 = r.summary.per_tenant.iter().map(|t| t.completed).sum();
             assert_eq!(sum, r.summary.completed);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Resilience layer
+    // ------------------------------------------------------------------
+
+    /// Saturating traffic on 2 chips with a scripted mid-run outage of
+    /// chip 0: enough load that the outage always interrupts a batch.
+    fn outage_run(cfg: FleetConfig, seed: u64) -> SimReport {
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 18);
+        let per = cost.proof_ms(Gate::Jellyfish, 18);
+        let mix = WorkloadMix::single(class);
+        let rate = 1.8 * 2.0 * 1000.0 / per;
+        let mut source = PoissonSource::new(rate, 2_000.0, mix, seed);
+        simulate(&cfg, &mut source, &mut cost).expect("sim")
+    }
+
+    fn outage_cfg() -> FleetConfig {
+        FleetConfig::new(2).with_faults(FaultConfig::scripted(vec![ChipOutage::new(
+            0, 300.0, 600.0,
+        )]))
+    }
+
+    #[test]
+    fn chip_failure_reroutes_in_flight_work_via_retry() {
+        let r = outage_run(outage_cfg().with_retry(RetryPolicy::new(5)), 21);
+        assert_eq!(r.summary.chip_failures, 1);
+        assert_eq!(r.summary.chip_repairs, 1);
+        assert!(r.summary.retries > 0, "outage interrupted no batch");
+        assert!(conserved(&r), "conservation broke under failure");
+        // The interrupted work completed on its later attempt.
+        assert!(r.records.iter().any(|rec| rec.attempts > 0));
+        // Trace carries the failure cycle.
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEntry::ChipFail { chip: 0, .. })));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEntry::ChipRepair { chip: 0, .. })));
+    }
+
+    #[test]
+    fn failure_without_retry_loses_in_flight_batch() {
+        let r = outage_run(outage_cfg(), 21);
+        assert_eq!(r.summary.chip_failures, 1);
+        assert_eq!(r.summary.retries, 0);
+        assert!(r.summary.lost > 0, "lost batch vanished without a trace");
+        assert!(conserved(&r));
+        assert!(r.trace.iter().any(|e| matches!(e, TraceEntry::Lost { .. })));
+    }
+
+    #[test]
+    fn retries_stay_within_budget() {
+        // A harsh MTBF forces many interruptions; attempts must never
+        // exceed the configured budget anywhere.
+        let budget = 3u32;
+        let cfg = FleetConfig::new(2)
+            .with_faults(FaultConfig::random(400.0, 200.0, 5))
+            .with_retry(RetryPolicy::new(budget));
+        let r = outage_run(cfg, 13);
+        assert!(conserved(&r));
+        assert!(r.records.iter().all(|rec| rec.attempts <= budget));
+        for e in &r.trace {
+            if let TraceEntry::Retried { attempt, .. } = e {
+                assert!(*attempt <= budget, "retry {attempt} over budget");
+            }
+        }
+        // Budget 0 with a retry policy: rescue always fails → lost.
+        let cfg0 = outage_cfg().with_retry(RetryPolicy::new(0));
+        let r0 = outage_run(cfg0, 21);
+        assert_eq!(r0.summary.retries, 0);
+        assert!(r0.summary.lost > 0);
+        assert!(conserved(&r0));
+    }
+
+    #[test]
+    fn random_failures_replay_bit_identical_per_seed() {
+        let cfg = FleetConfig::new(2)
+            .with_faults(FaultConfig::random(500.0, 150.0, 42))
+            .with_retry(RetryPolicy::new(4))
+            .with_brown_out(BrownOutConfig::new(1.0, 8));
+        let a = outage_run(cfg.clone(), 9);
+        let b = outage_run(cfg, 9);
+        assert!(a.summary.chip_failures > 0, "MTBF 500 ms never fired");
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        // A different fault seed shifts failure times → different run.
+        let cfg2 = FleetConfig::new(2)
+            .with_faults(FaultConfig::random(500.0, 150.0, 43))
+            .with_retry(RetryPolicy::new(4))
+            .with_brown_out(BrownOutConfig::new(1.0, 8));
+        let c = outage_run(cfg2, 9);
+        assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn brown_out_sheds_under_capacity_loss() {
+        // Losing 1 of 2 chips under saturating load with a tight
+        // brown-out trims the backlog; without brown-out nothing sheds.
+        let base = outage_cfg().with_retry(RetryPolicy::new(3));
+        let no_shed = outage_run(base.clone(), 33);
+        assert_eq!(no_shed.summary.shed, 0);
+        let r = outage_run(base.with_brown_out(BrownOutConfig::new(1.0, 2)), 33);
+        assert!(r.summary.shed > 0, "brown-out never shed");
+        assert!(conserved(&r));
+        assert!(r.trace.iter().any(|e| matches!(e, TraceEntry::Shed { .. })));
+        // Shed requests show up in the per-tenant slices.
+        let shed_sum: u64 = r.summary.per_tenant.iter().map(|t| t.shed).sum();
+        assert_eq!(shed_sum, r.summary.shed);
+    }
+
+    #[test]
+    fn tenant_caps_protect_light_tenant() {
+        // Tenant 1 floods at 9× tenant 2's rate into one overloaded
+        // chip. A per-tenant cap bounds the flood's queue share; the
+        // light tenant keeps being admitted.
+        let mut cost = CostModel::exemplar();
+        let base = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18));
+        let tm = TenantMix::new(vec![
+            TenantProfile::new(1, 9.0, base.clone()),
+            TenantProfile::new(2, 1.0, base),
+        ]);
+        let per = cost.proof_ms(Gate::Jellyfish, 18);
+        let rate = 3.0 * 1000.0 / per;
+        let mut run = |cfg: FleetConfig| {
+            let mut source = PoissonSource::new(rate, 4_000.0, tm.clone(), 55);
+            simulate(&cfg, &mut source, &mut cost).expect("sim")
+        };
+        let capped = run(FleetConfig::new(1)
+            .with_queue_capacity(20)
+            .with_tenant_caps(vec![(1, 10)]));
+        let blind = run(FleetConfig::new(1).with_queue_capacity(20));
+        let rej = |r: &SimReport, t: TenantId| {
+            r.summary
+                .per_tenant
+                .iter()
+                .find(|s| s.tenant == t)
+                .map_or(0, |s| s.rejected)
+        };
+        // The flood, not the light tenant, absorbs the rejections.
+        assert!(rej(&capped, 1) > 0);
+        assert!(
+            rej(&capped, 2) * 10 < rej(&blind, 2).max(1) || rej(&capped, 2) == 0,
+            "cap did not protect the light tenant: capped {} blind {}",
+            rej(&capped, 2),
+            rej(&blind, 2)
+        );
+        assert!(conserved(&capped) && conserved(&blind));
+    }
+
+    #[test]
+    fn tenant_caps_compose_with_zero_queue_capacity() {
+        // The shared zero-capacity rule dominates: even a generous
+        // per-tenant cap admits nothing when nothing may wait.
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 16);
+        let mut source = uniform_trace(class, 40, 50.0);
+        let cfg = FleetConfig::new(4)
+            .with_queue_capacity(0)
+            .with_tenant_caps(vec![(0, 100)])
+            .with_default_tenant_cap(100);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("sim");
+        assert_eq!(r.summary.completed, 0);
+        assert_eq!(r.summary.rejected, 40);
+        // And the reverse: a zero tenant cap under an open shared queue
+        // also rejects everything for that tenant.
+        let mut source = uniform_trace(class, 40, 50.0);
+        let cfg = FleetConfig::new(4).with_tenant_caps(vec![(0, 0)]);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("sim");
+        assert_eq!(r.summary.completed, 0);
+        assert_eq!(r.summary.rejected, 40);
+    }
+
+    #[test]
+    fn legacy_configs_ignore_resilience_machinery() {
+        // No faults/retry/brown-out/caps configured → no resilience
+        // trace entries and zeroed resilience counters.
+        let r = small_run(PolicyKind::SizeClass, 7);
+        assert_eq!(r.summary.retries, 0);
+        assert_eq!(r.summary.shed, 0);
+        assert_eq!(r.summary.lost, 0);
+        assert_eq!(r.summary.chip_failures, 0);
+        assert!(r.trace.iter().all(|e| !matches!(
+            e,
+            TraceEntry::ChipFail { .. }
+                | TraceEntry::ChipRepair { .. }
+                | TraceEntry::Retried { .. }
+                | TraceEntry::Lost { .. }
+                | TraceEntry::Shed { .. }
+        )));
+    }
+
+    #[test]
+    fn config_errors_are_typed() {
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 16);
+        let mut source = uniform_trace(class, 1, 1.0);
+        let err = simulate(&FleetConfig::new(0), &mut source, &mut cost).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        // Scripted outage naming a chip outside the pool.
+        let cfg = FleetConfig::new(2)
+            .with_faults(FaultConfig::scripted(vec![ChipOutage::new(7, 1.0, 1.0)]));
+        let mut source = uniform_trace(class, 1, 1.0);
+        let err = simulate(&cfg, &mut source, &mut cost).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("chip 7"));
+    }
+
+    #[test]
+    fn expired_work_is_recycled_only_with_retry() {
+        // One slow chip, deadlines too tight for the backlog: with a
+        // retry policy, late work is caught at dispatch and recycled;
+        // without one it is served late (legacy) as a deadline miss.
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 18);
+        let per = cost.proof_ms(Gate::Jellyfish, 18);
+        let mut mk = |retry: Option<RetryPolicy>| {
+            let mut cfg = FleetConfig::new(1).with_max_batch(1);
+            cfg.deadline_factor = 1.1;
+            cfg.deadline_slack_ms = 0.0;
+            if let Some(p) = retry {
+                cfg = cfg.with_retry(p);
+            }
+            let mut source = uniform_trace(class, 30, per * 0.5);
+            simulate(&cfg, &mut source, &mut cost).expect("sim")
+        };
+        let legacy = mk(None);
+        assert!(legacy.summary.deadline_miss_rate > 0.0);
+        assert_eq!(legacy.summary.completed, 30);
+        let rescued = mk(Some(RetryPolicy::new(2).with_jitter(0.0)));
+        assert!(rescued.summary.retries > 0, "nothing expired at dispatch");
+        assert!(conserved(&rescued));
+        assert!(rescued.summary.lost > 0 || rescued.summary.completed < 30);
     }
 }

@@ -12,8 +12,8 @@ use zkphire_core::costdb::CostModel;
 use zkphire_core::system::ZkphireConfig;
 use zkphire_dse::{compare_provisioning, size_fleet, BurstScenario, FleetSlo};
 use zkphire_fleet::{
-    simulate, FleetConfig, OnOffSource, PoissonSource, PolicyKind, ScaleKind, TenantMix,
-    TenantProfile, WorkloadMix,
+    simulate, BrownOutConfig, ChipOutage, FaultConfig, FleetConfig, OnOffSource, PoissonSource,
+    PolicyKind, RetryPolicy, ScaleKind, TenantMix, TenantProfile, WorkloadMix,
 };
 
 fn main() {
@@ -38,7 +38,9 @@ fn main() {
     for chips in [1usize, 2, 4] {
         let mut source = PoissonSource::new(600.0, horizon_ms, mix.clone(), seed);
         let cfg = FleetConfig::new(chips);
-        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        let s = simulate(&cfg, &mut source, &mut cost)
+            .expect("valid config")
+            .summary;
         println!(
             "{chips} chip(s): {:7.1} proofs/s  util {:.2}  p50 {:8.2} ms  p99 {:8.2} ms",
             s.throughput_rps, s.mean_utilization, s.p50_latency_ms, s.p99_latency_ms
@@ -49,9 +51,13 @@ fn main() {
     //    the rate. Tail latency degrades even though throughput holds.
     println!("\n— ON/OFF bursts, same 600 req/s average, 2 chips —");
     let mut steady = PoissonSource::new(600.0, horizon_ms, mix.clone(), seed);
-    let smooth = simulate(&FleetConfig::new(2), &mut steady, &mut cost).summary;
+    let smooth = simulate(&FleetConfig::new(2), &mut steady, &mut cost)
+        .expect("valid config")
+        .summary;
     let mut bursty_src = OnOffSource::new(1800.0, 400.0, 800.0, horizon_ms, mix.clone(), seed);
-    let bursty = simulate(&FleetConfig::new(2), &mut bursty_src, &mut cost).summary;
+    let bursty = simulate(&FleetConfig::new(2), &mut bursty_src, &mut cost)
+        .expect("valid config")
+        .summary;
     println!(
         "steady: p99 {:8.2} ms   bursty: p99 {:8.2} ms  ({:.1}x)",
         smooth.p99_latency_ms,
@@ -141,7 +147,9 @@ fn main() {
         let cfg = FleetConfig::new(2)
             .with_policy(policy)
             .with_tenant_weights(flood.service_weights());
-        let s = simulate(&cfg, &mut source, &mut cost).summary;
+        let s = simulate(&cfg, &mut source, &mut cost)
+            .expect("valid config")
+            .summary;
         let light = s
             .per_tenant
             .iter()
@@ -153,6 +161,35 @@ fn main() {
             light.p50_latency_ms,
             light.p99_latency_ms,
             s.p99_latency_ms
+        );
+    }
+
+    // 6. Resilience: one of four chips dies for 1.5 s under heavy load.
+    //    A fault-blind fleet loses the in-flight batch and serves stale
+    //    work; retries plus brown-out shedding keep the goodput up.
+    println!("\n— chip failure: 1 of 4 chips down 1.5 s; retries + brown-out —");
+    let outage = FaultConfig::scripted(vec![ChipOutage::new(0, 1_000.0, 1_500.0)]);
+    let variants: [(&str, FleetConfig); 3] = [
+        ("no-failure", FleetConfig::new(4)),
+        ("naive", FleetConfig::new(4).with_faults(outage.clone())),
+        (
+            "resilient",
+            FleetConfig::new(4)
+                .with_faults(outage)
+                .with_retry(RetryPolicy::new(4))
+                .with_brown_out(BrownOutConfig::new(1.0, 12)),
+        ),
+    ];
+    // 2000 req/s runs the 4-chip fleet hot enough that losing a chip
+    // actually hurts: the survivors cannot also clear the backlog.
+    for (label, cfg) in variants {
+        let mut source = PoissonSource::new(2_000.0, horizon_ms, mix.clone(), seed);
+        let s = simulate(&cfg, &mut source, &mut cost)
+            .expect("valid config")
+            .summary;
+        println!(
+            "{label:12} goodput {:7.1}/s  p99 {:8.2} ms  retries {:4}  lost {:3}  shed {:3}",
+            s.goodput_rps, s.p99_latency_ms, s.retries, s.lost, s.shed
         );
     }
 }

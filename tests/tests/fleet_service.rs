@@ -16,7 +16,7 @@ fn service_run(policy: PolicyKind, seed: u64, chips: usize, rate: f64) -> SimRep
     let mix = WorkloadMix::tables_vi_vii(20);
     let mut source = PoissonSource::new(rate, 3_000.0, mix, seed);
     let cfg = FleetConfig::new(chips).with_policy(policy);
-    simulate(&cfg, &mut source, &mut cost)
+    simulate(&cfg, &mut source, &mut cost).expect("valid config")
 }
 
 #[test]
@@ -193,7 +193,7 @@ fn zero_completion_run_has_finite_summary() {
     // NaN, and quantiles must not be consulted on the empty sample.
     let mut cost = CostModel::exemplar();
     let mut source = TraceSource::new(Vec::new());
-    let r = simulate(&FleetConfig::new(2), &mut source, &mut cost);
+    let r = simulate(&FleetConfig::new(2), &mut source, &mut cost).expect("valid config");
     let s = &r.summary;
     assert_eq!(s.completed, 0);
     assert_eq!(s.rejected, 0);
@@ -228,7 +228,7 @@ fn all_rejected_run_has_finite_summary() {
     let class = RequestClass::new(Gate::Jellyfish, 16);
     let mut source = TraceSource::with_tenants(vec![(0.0, class, 1), (1.0, class, 2)]);
     let cfg = FleetConfig::new(1).with_queue_capacity(0);
-    let r = simulate(&cfg, &mut source, &mut cost);
+    let r = simulate(&cfg, &mut source, &mut cost).expect("valid config");
     assert_eq!(r.summary.completed, 0);
     assert_eq!(r.summary.rejected, 2);
     assert_eq!(r.summary.per_tenant.len(), 2);
@@ -253,7 +253,7 @@ fn trace_driven_replay_is_exact() {
     let cfg = FleetConfig::new(1)
         .with_policy(PolicyKind::Fifo)
         .with_max_batch(1);
-    let r = simulate(&cfg, &mut source, &mut cost);
+    let r = simulate(&cfg, &mut source, &mut cost).expect("valid config");
     assert_eq!(r.records.len(), 2);
     let first = &r.records[0];
     let second = &r.records[1];

@@ -126,8 +126,8 @@ proptest! {
 
 use zkphire_core::costdb::CostModel;
 use zkphire_fleet::{
-    simulate, AutoscaleConfig, FleetConfig, OnOffSource, PolicyKind, ScaleKind, TenantMix,
-    TenantProfile, TraceEntry, WorkloadMix,
+    simulate, AutoscaleConfig, BrownOutConfig, FaultConfig, FleetConfig, OnOffSource, PolicyKind,
+    RetryPolicy, ScaleKind, TenantMix, TenantProfile, TraceEntry, WorkloadMix,
 };
 
 /// A randomized two-tenant burst source; runs short enough that each
@@ -162,7 +162,7 @@ proptest! {
             .with_policy(policy)
             .with_queue_capacity(cap)
             .with_tenant_weights(tm.service_weights());
-        let r = simulate(&cfg, &mut source, &mut cost);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("valid config");
         let arrivals = r
             .trace
             .iter()
@@ -210,7 +210,7 @@ proptest! {
                         .with_cooldown_ms(spin_up_ms)
                         .with_interval_ms(20.0),
                 );
-            simulate(&cfg, &mut source, &mut cost)
+            simulate(&cfg, &mut source, &mut cost).expect("valid config")
         };
         let r = run(seed);
         // Initial pool = cfg.chips clamped into the bounds.
@@ -233,5 +233,82 @@ proptest! {
         let again = run(seed);
         prop_assert_eq!(r.trace_hash, again.trace_hash);
         prop_assert_eq!(r.trace.len(), again.trace.len());
+    }
+
+    /// Resilience invariants under random chip failures, retries,
+    /// per-tenant caps and brown-out, for any seed and knob draw:
+    ///
+    /// * conservation — `arrivals == completed + rejected + shed +
+    ///   lost` with nothing in flight at drain,
+    /// * retries bounded — no request records or traces an attempt
+    ///   past the configured budget,
+    /// * replay — the failure/repair schedule is bit-identical for the
+    ///   same `(config, seed)`.
+    #[test]
+    fn faulty_fleet_conserves_and_replays(
+        seed in 0u64..300,
+        fault_seed in 0u64..300,
+        budget in 0u32..4,
+        mtbf in 200u64..2_000,
+        chips in 2usize..5,
+        cap in 4usize..32,
+    ) {
+        let mtbf_ms = mtbf as f64;
+        let run = || {
+            let mut cost = CostModel::exemplar();
+            let (tm, mut source) = burst_source(seed);
+            let cfg = FleetConfig::new(chips)
+                .with_policy(PolicyKind::WeightedFair)
+                .with_tenant_weights(tm.service_weights())
+                .with_queue_capacity(cap)
+                .with_tenant_caps(vec![(1, cap / 2 + 1)])
+                .with_faults(FaultConfig::random(mtbf_ms, mtbf_ms / 4.0, fault_seed))
+                .with_retry(RetryPolicy::new(budget))
+                .with_brown_out(BrownOutConfig::new(1.0, 8));
+            simulate(&cfg, &mut source, &mut cost).expect("valid config")
+        };
+        let r = run();
+        let s = &r.summary;
+        prop_assert_eq!(s.arrivals, s.completed + s.rejected + s.shed + s.lost);
+        prop_assert_eq!(r.records.len() as u64, s.completed);
+        prop_assert!(r.records.iter().all(|rec| rec.attempts <= budget));
+        for e in &r.trace {
+            if let TraceEntry::Retried { attempt, .. } = e {
+                prop_assert!(*attempt <= budget, "retry {} over budget {}", attempt, budget);
+            }
+        }
+        // Per-tenant terminal outcomes tile the global counts.
+        let tiles = |f: fn(&zkphire_fleet::TenantSummary) -> u64, total: u64| {
+            s.per_tenant.iter().map(f).sum::<u64>() == total
+        };
+        prop_assert!(tiles(|t| t.completed, s.completed));
+        prop_assert!(tiles(|t| t.rejected, s.rejected));
+        prop_assert!(tiles(|t| t.shed, s.shed));
+        prop_assert!(tiles(|t| t.lost, s.lost));
+        // Failures repair by drain (the run outlives every outage), and
+        // goodput never exceeds throughput.
+        prop_assert!(s.chip_repairs <= s.chip_failures);
+        prop_assert!(s.goodput_rps <= s.throughput_rps + 1e-9);
+        // Bit-identical replay of the whole failure/retry schedule.
+        let again = run();
+        prop_assert_eq!(r.trace_hash, again.trace_hash);
+        prop_assert_eq!(&r.trace, &again.trace);
+    }
+
+    /// Per-tenant caps compose with the shared queue bound: the
+    /// stricter constraint always wins, so a zero shared capacity
+    /// rejects everything no matter how generous the tenant caps are.
+    #[test]
+    fn tenant_caps_compose_with_shared_capacity(seed in 0u64..200, tcap in 1usize..64) {
+        let mut cost = CostModel::exemplar();
+        let (tm, mut source) = burst_source(seed);
+        let cfg = FleetConfig::new(2)
+            .with_tenant_weights(tm.service_weights())
+            .with_queue_capacity(0)
+            .with_default_tenant_cap(tcap);
+        let r = simulate(&cfg, &mut source, &mut cost).expect("valid config");
+        prop_assert_eq!(r.summary.completed, 0);
+        prop_assert_eq!(r.summary.rejected, r.summary.arrivals);
+        prop_assert!(r.records.is_empty());
     }
 }
