@@ -4,6 +4,7 @@ mod ablations;
 mod autoscale_exps;
 mod faults_exps;
 mod fleet_exps;
+mod obs_exps;
 mod perf_exps;
 mod sumcheck_exps;
 mod system_exps;
@@ -13,13 +14,14 @@ pub use ablations::ablations;
 pub use autoscale_exps::autoscale;
 pub use faults_exps::faults;
 pub use fleet_exps::fleet;
+pub use obs_exps::{obs, obs_with_args};
 pub use perf_exps::{perf, perf_with_args};
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
 pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "table1",
     "fig6",
     "fig7",
@@ -42,6 +44,7 @@ pub const ALL: [&str; 22] = [
     "autoscale",
     "faults",
     "perf",
+    "obs",
 ];
 
 /// Runs one experiment by name.
@@ -49,8 +52,9 @@ pub fn run(name: &str) -> Option<String> {
     run_with_args(name, &[])
 }
 
-/// Runs one experiment by name with extra command-line flags (currently
-/// only `perf` consumes any: `--smoke`, `--out <path>`).
+/// Runs one experiment by name with extra command-line flags (`perf`
+/// consumes `--smoke` and `--out <path>`; `obs` consumes
+/// `--out-dir <dir>`).
 pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
     Some(match name {
         "table1" => table1(),
@@ -76,6 +80,7 @@ pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
         "autoscale" => autoscale(),
         "faults" => faults(),
         "perf" => perf_with_args(args),
+        "obs" => obs_with_args(args),
         _ => return None,
     })
 }

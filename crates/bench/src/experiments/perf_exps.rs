@@ -34,8 +34,10 @@ use zkphire_field::{batch_inverse, Fr};
 use zkphire_hyperplonk::{prove_with_config, setup, verify, Circuit, GateSystem, ProverConfig};
 use zkphire_poly::{CompositePoly, Mle, MleId, Term};
 use zkphire_sumcheck::{count_ops, prove_with_threads};
+use zkphire_telemetry as tele;
 use zkphire_transcript::Transcript;
 
+use super::obs_exps::tele_guard;
 use crate::fmt_table;
 
 /// One benchmark measurement, serialized verbatim into `BENCH_perf.json`.
@@ -65,6 +67,42 @@ fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Run metadata embedded in `BENCH_perf.json` so the checked-in 1-core
+/// trajectory is distinguishable from multi-core regenerations.
+struct RunMeta {
+    /// `available_parallelism` of the measuring host.
+    host_cores: u64,
+    /// Worker threads the threaded benches were allowed to use.
+    threads: u64,
+    /// Short git revision of the measured tree (`unknown` outside a
+    /// git checkout).
+    git_rev: String,
+}
+
+impl RunMeta {
+    fn capture() -> Self {
+        Self {
+            host_cores: available_threads() as u64,
+            threads: available_threads() as u64,
+            git_rev: git_rev(),
+        }
+    }
+}
+
+/// Short git revision, sanitized to hex so the hand-rolled JSON needs
+/// no escaping; `unknown` when git is unavailable.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_hexdigit()))
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// The `perf` experiment with default (full) sizes.
 pub fn perf() -> String {
     perf_with_args(&[])
@@ -82,13 +120,19 @@ pub fn perf_with_args(args: &[String]) -> String {
 
     let mut records: Vec<PerfRecord> = Vec::new();
     let mut out = String::new();
+    let meta = RunMeta::capture();
+    let _ = writeln!(
+        out,
+        "run meta: host_cores={} threads={} git_rev={}\n",
+        meta.host_cores, meta.threads, meta.git_rev
+    );
 
     field_section(smoke, &mut records, &mut out);
     msm_section(smoke, &mut records, &mut out);
     sumcheck_section(smoke, &mut records, &mut out);
     e2e_section(smoke, &mut records, &mut out);
 
-    match std::fs::write(out_path, render_json(&records, smoke)) {
+    match std::fs::write(out_path, render_json(&records, smoke, &meta)) {
         Ok(()) => {
             let _ = writeln!(out, "wrote {} records to {out_path}", records.len());
         }
@@ -426,16 +470,52 @@ fn e2e_section(smoke: bool, records: &mut Vec<PerfRecord>, out: &mut String) {
     let mut rng = StdRng::seed_from_u64(0xe2e);
     let (circuit, witness) = Circuit::random(GateSystem::Jellyfish, mu, 0.5, &mut rng);
     let (pk, vk) = setup(circuit, &mut rng);
-
-    let (proof, prove_ns) = time_ns(|| {
+    let prove_once = || {
         prove_with_config(
             &pk,
             &witness,
             &mut Transcript::new(b"perf/e2e"),
             ProverConfig { threads },
         )
-    });
+    };
+
+    // Telemetry overhead: best-of-N with recording runtime-off vs -on.
+    // The hooks are compiled in (the bench crate enables `record`), so
+    // "off" measures the runtime gate — one relaxed load per hook —
+    // and "on" the full recording path. Best-of-N filters scheduler
+    // noise, which at smoke sizes dwarfs the overhead being measured.
+    let reps = 3;
+    let guard = tele_guard();
+    tele::reset();
+    tele::set_enabled(false);
+    let mut off_ns = u64::MAX;
+    for _ in 0..reps {
+        let (p, ns) = time_ns(prove_once);
+        std::hint::black_box(&p);
+        off_ns = off_ns.min(ns);
+    }
+    tele::set_enabled(true);
+    let mut on_ns = u64::MAX;
+    for _ in 0..reps {
+        let (p, ns) = time_ns(prove_once);
+        std::hint::black_box(&p);
+        on_ns = on_ns.min(ns);
+    }
+    tele::set_enabled(false);
+    tele::drain(); // discard the overhead reps' spans
+
+    // One clean instrumented run supplies the recorded e2e wall time,
+    // the per-phase breakdown, and the allocation counters.
+    tele::reset();
+    tele::reset_alloc_counts();
+    tele::set_enabled(true);
+    let (proof, prove_ns) = time_ns(prove_once);
+    tele::set_enabled(false);
+    let (alloc_calls, alloc_bytes) = tele::alloc_counts();
+    let profile = tele::drain();
+    drop(guard);
     verify(&vk, &proof, &mut Transcript::new(b"perf/e2e")).expect("benchmark proof must verify");
+
     records.push(PerfRecord {
         name: "hyperplonk/prove".into(),
         n: 1u64 << mu,
@@ -443,23 +523,83 @@ fn e2e_section(smoke: bool, records: &mut Vec<PerfRecord>, out: &mut String) {
         ops: 0,
         threads: threads as u64,
     });
+    for (name, ns) in [
+        ("hyperplonk/prove_telemetry_off", off_ns),
+        ("hyperplonk/prove_telemetry_on", on_ns),
+    ] {
+        records.push(PerfRecord {
+            name: name.into(),
+            n: 1u64 << mu,
+            wall_ns: ns,
+            ops: 0,
+            threads: threads as u64,
+        });
+    }
+
+    // Per-phase breakdown: the depth-1 spans tile the `prove` span
+    // (`repro obs` asserts the tiling is within 1%).
+    let prove_span_ns = profile.total_ns("prove").max(1);
+    let mut phase_rows = Vec::new();
+    for name in profile.names_at_depth(1) {
+        let ns = profile.total_ns(name);
+        records.push(PerfRecord {
+            name: format!("hyperplonk/{name}"),
+            n: 1u64 << mu,
+            wall_ns: ns,
+            ops: 0,
+            threads: threads as u64,
+        });
+        phase_rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", ns as f64 / 1e6),
+            format!("{:.1}%", 100.0 * ns as f64 / prove_span_ns as f64),
+        ]);
+    }
+    out.push_str(&fmt_table(
+        &format!("Perf — HyperPlonk e2e phase breakdown (Jellyfish, 2^{mu} rows)"),
+        &["phase", "ms", "share"],
+        &phase_rows,
+    ));
     let _ = writeln!(
         out,
-        "Perf — HyperPlonk e2e (Jellyfish, 2^{mu} rows): prove {:.1} ms, proof {} bytes, verified\n",
+        "prove {:.1} ms, proof {} bytes, verified",
         prove_ns as f64 / 1e6,
         proof.size_bytes(),
     );
+    let _ = writeln!(
+        out,
+        "telemetry overhead (best of {reps}): on {:.2} ms vs off {:.2} ms ({:+.2}%)",
+        on_ns as f64 / 1e6,
+        off_ns as f64 / 1e6,
+        100.0 * (on_ns as f64 / off_ns as f64 - 1.0),
+    );
+    if alloc_calls == 0 {
+        let _ = writeln!(
+            out,
+            "allocation counter: inactive (CountingAlloc not installed in this binary)\n"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "allocations during instrumented prove: {alloc_calls} calls, {alloc_bytes} bytes\n"
+        );
+    }
 }
 
 // ----------------------------------------------------------------- json --
 
 /// Hand-rolled JSON (no serde in the offline workspace): every name this
 /// module generates is `[a-z0-9/_]`, so no string escaping is needed.
-fn render_json(records: &[PerfRecord], smoke: bool) -> String {
+fn render_json(records: &[PerfRecord], smoke: bool, meta: &RunMeta) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"zkphire-bench-perf/v1\",\n");
+    s.push_str("  \"schema\": \"zkphire-bench-perf/v2\",\n");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        s,
+        "  \"meta\": {{\"host_cores\": {}, \"threads\": {}, \"git_rev\": \"{}\"}},",
+        meta.host_cores, meta.threads, meta.git_rev
+    );
     s.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
@@ -495,15 +635,32 @@ mod tests {
                 threads: 4,
             },
         ];
-        let json = render_json(&records, true);
+        let meta = RunMeta {
+            host_cores: 1,
+            threads: 1,
+            git_rev: "abc123".into(),
+        };
+        let json = render_json(&records, true, &meta);
         // Structural spot-checks (no JSON parser in the offline workspace).
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"name\"").count(), 2);
-        assert!(json.contains("\"schema\": \"zkphire-bench-perf/v1\""));
+        assert!(json.contains("\"schema\": \"zkphire-bench-perf/v2\""));
         assert!(json.contains("\"smoke\": true"));
+        assert!(
+            json.contains("\"meta\": {\"host_cores\": 1, \"threads\": 1, \"git_rev\": \"abc123\"}")
+        );
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn git_rev_is_json_safe() {
+        let rev = git_rev();
+        assert!(
+            rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()),
+            "git_rev `{rev}` would need JSON escaping"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::g1::{G1Affine, G1Projective};
 use zkphire_field::{batch_inverse, Fq, Fr};
+use zkphire_telemetry as tele;
 
 /// Operation counts for one MSM, used to validate the hardware MSM model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -104,6 +105,8 @@ pub fn msm_with_ops_threads(
     let window_bits = optimal_window_bits(points.len());
     // One extra window absorbs the final carry of the signed recoding.
     let num_windows = SCALAR_BITS.div_ceil(window_bits) as usize + 1;
+    tele::counter_add("msm/calls", 1);
+    tele::counter_add("msm/windows", num_windows as u64);
 
     // Signed digits for every scalar, recoded once and shared by all
     // windows (scalar-major layout: digit of window `w` for scalar `i`
@@ -272,6 +275,11 @@ fn window_sum_signed(
             .proj_buckets
             .iter_mut()
             .for_each(|b| *b = G1Projective::identity());
+        let mut occupancy = if tele::is_enabled() {
+            vec![0u32; arena.proj_buckets.len()]
+        } else {
+            Vec::new()
+        };
         for (i, point) in points.iter().enumerate() {
             let d = digit_at(i);
             if d == 0 || point.infinity {
@@ -284,6 +292,21 @@ fn window_sum_signed(
             };
             arena.proj_buckets[b] = arena.proj_buckets[b].add_mixed(&p);
             ops.bucket_adds += 1;
+            if let Some(c) = occupancy.get_mut(b) {
+                *c += 1;
+            }
+        }
+        // Same histogram the batched path records: occupancy of the hit
+        // buckets, window-determined and thus thread-count invariant.
+        // Accumulated locally and merged in one recorder access.
+        if !occupancy.is_empty() {
+            let mut hist = tele::Histogram::default();
+            for &c in &occupancy {
+                if c > 0 {
+                    hist.record(u64::from(c));
+                }
+            }
+            tele::hist_merge("msm/bucket_occupancy", &hist);
         }
         let mut running = G1Projective::identity();
         let mut total = G1Projective::identity();
@@ -310,6 +333,20 @@ fn window_sum_signed(
     arena.starts[0] = 0;
     for b in 0..bucket_count {
         arena.starts[b + 1] = arena.starts[b] + arena.lens[b];
+    }
+    if tele::is_enabled() {
+        // Occupancy of the hit buckets only — this is the distribution
+        // the pair-reduction pass count is logarithmic in. The set of
+        // samples is window-determined, so the merged histogram is
+        // identical at every thread count. Accumulated locally and
+        // merged in one recorder access per window.
+        let mut hist = tele::Histogram::default();
+        for &l in arena.lens.iter() {
+            if l > 0 {
+                hist.record(u64::from(l));
+            }
+        }
+        tele::hist_merge("msm/bucket_occupancy", &hist);
     }
     let total_updates = arena.starts[bucket_count] as usize;
     arena.sorted.resize(total_updates, G1Affine::identity());
@@ -340,7 +377,9 @@ fn window_sum_signed(
             arena.active.push(b as u32);
         }
     }
+    let mut inverse_passes = 0u64;
     while !arena.active.is_empty() {
+        inverse_passes += 1;
         arena.pairs.clear();
         arena.denoms.clear();
         for &b in &arena.active {
@@ -393,6 +432,9 @@ fn window_sum_signed(
             }
         }
         std::mem::swap(&mut arena.active, &mut arena.next_active);
+    }
+    if inverse_passes > 0 {
+        tele::counter_add("msm/batch_inverse_passes", inverse_passes);
     }
 
     // Running-sum reduction: sum_j j * bucket_j with 2 * |buckets| adds.

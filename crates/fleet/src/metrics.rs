@@ -5,6 +5,39 @@ use std::collections::BTreeMap;
 
 use crate::request::{RequestRecord, TenantId};
 
+/// Typed rejection of a bad metrics query. NaN is caught when the
+/// sample is handed in — not deep inside a sort comparator — so callers
+/// feeding untrusted latency data get an error naming the offending
+/// index instead of a panic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricsError {
+    /// The sample at this index is NaN.
+    NanSample {
+        /// Index of the first NaN in the input.
+        index: usize,
+    },
+    /// An empty sample has no quantiles.
+    EmptySample,
+    /// `q` outside `(0, 1]`.
+    InvalidQuantile(f64),
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::NanSample { index } => {
+                write!(f, "NaN sample at index {index}")
+            }
+            MetricsError::EmptySample => write!(f, "quantile of empty sample"),
+            MetricsError::InvalidQuantile(q) => {
+                write!(f, "quantile {q} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
 /// Exact nearest-rank quantile of an ascending-sorted sample:
 /// the smallest element with cumulative frequency ≥ `q`.
 ///
@@ -19,11 +52,33 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Convenience: sorts a copy and takes [`quantile_sorted`].
-pub fn quantile(values: &[f64], q: f64) -> f64 {
+/// NaN-rejecting quantile: validates the sample and `q` up front and
+/// returns a typed [`MetricsError`] instead of panicking mid-sort.
+pub fn try_quantile(values: &[f64], q: f64) -> Result<f64, MetricsError> {
+    if let Some(index) = values.iter().position(|v| v.is_nan()) {
+        return Err(MetricsError::NanSample { index });
+    }
+    if values.is_empty() {
+        return Err(MetricsError::EmptySample);
+    }
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(MetricsError::InvalidQuantile(q));
+    }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
-    quantile_sorted(&sorted, q)
+    // NaN already rejected, so total_cmp agrees with the numeric order.
+    sorted.sort_by(f64::total_cmp);
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Convenience: sorts a copy and takes [`quantile_sorted`].
+///
+/// # Panics
+///
+/// Panics with the typed [`MetricsError`] message on NaN input, an
+/// empty sample, or `q` outside `(0, 1]` — use [`try_quantile`] to
+/// handle those as values.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    try_quantile(values, q).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Per-tenant slice of a run: how one customer experienced the fleet.
@@ -394,6 +449,33 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn zero_quantile_rejected() {
         quantile_sorted(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn nan_sample_rejected_with_typed_error() {
+        // A NaN latency must surface as a typed error naming the index,
+        // not a panic from inside the sort comparator.
+        assert_eq!(
+            try_quantile(&[1.0, f64::NAN, 3.0], 0.5),
+            Err(MetricsError::NanSample { index: 1 })
+        );
+        assert_eq!(try_quantile(&[], 0.5), Err(MetricsError::EmptySample));
+        assert_eq!(
+            try_quantile(&[1.0], 0.0),
+            Err(MetricsError::InvalidQuantile(0.0))
+        );
+        assert_eq!(
+            try_quantile(&[1.0], 1.5),
+            Err(MetricsError::InvalidQuantile(1.5))
+        );
+        // Valid input matches the sorted fast path.
+        assert_eq!(try_quantile(&[3.0, 1.0, 2.0], 0.5), Ok(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample at index 0")]
+    fn quantile_panics_with_typed_message_on_nan() {
+        quantile(&[f64::NAN], 0.5);
     }
 
     #[test]

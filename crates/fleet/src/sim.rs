@@ -33,6 +33,7 @@ use crate::scale::{
     AutoscaleConfig, AutoscalePolicy, ScaleDecision, ScaleObservation, TenantWeights,
 };
 use zkphire_core::costdb::CostModel;
+use zkphire_telemetry::{AdmissionOutcome, SimTimeline};
 
 /// Dedicated stream tag for retry-backoff jitter, XORed into the fault
 /// seed so jitter draws never alias the failure-timing stream.
@@ -130,6 +131,11 @@ pub struct FleetConfig {
     /// `tenant_caps`; `None` = unlimited (only the shared
     /// `queue_capacity` applies).
     pub default_tenant_cap: Option<usize>,
+    /// Record a [`SimTimeline`] (per-chip busy/failed spans, queue and
+    /// provisioned time series, admission decisions) into the report.
+    /// Sim-time only, so the recorded timeline is byte-identical per
+    /// seed; off by default (legacy behavior, zero overhead).
+    pub telemetry: bool,
 }
 
 impl FleetConfig {
@@ -152,7 +158,17 @@ impl FleetConfig {
             brown_out: None,
             tenant_caps: Vec::new(),
             default_tenant_cap: None,
+            telemetry: false,
         }
+    }
+
+    /// Enables sim-time timeline recording (builder style). The engine
+    /// then replays its busy/provisioned accounting into a
+    /// [`SimTimeline`] whose integrals reconcile bitwise with the
+    /// summary's chip-second metrics (asserted at drain).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
     }
 
     /// Sets the policy (builder style).
@@ -337,6 +353,9 @@ pub struct SimReport {
     pub trace: Vec<TraceEntry>,
     /// FNV-1a hash of the trace — two runs are identical iff equal.
     pub trace_hash: u64,
+    /// The sim-time observability timeline; present iff the run was
+    /// configured [`FleetConfig::with_telemetry`].
+    pub timeline: Option<SimTimeline>,
 }
 
 /// Lifecycle of one pool slot.
@@ -470,6 +489,7 @@ pub fn simulate<S: ArrivalSource>(
         tenant_queued: BTreeMap::new(),
         pending: None,
         next_id: 0,
+        timeline: cfg.telemetry.then(|| SimTimeline::new(slots)),
     };
     engine.run(source, cost)
 }
@@ -502,6 +522,10 @@ struct Engine<'a> {
     /// pops.
     pending: Option<Request>,
     next_id: u64,
+    /// Sim-time observability record (`FleetConfig::with_telemetry`).
+    /// Mirrors the engine's own busy/provisioned accounting op-for-op,
+    /// so its integrals reconcile bitwise with the summary.
+    timeline: Option<SimTimeline>,
 }
 
 impl Engine<'_> {
@@ -535,6 +559,12 @@ impl Engine<'_> {
             self.acc.depth_time_integral += self.policy.depth() as f64 * (now - last_time);
             self.acc.chip_time_integral_ms += self.provisioned as f64 * (now - last_time);
             last_time = now;
+            if let Some(tl) = &mut self.timeline {
+                // Same op, same operands, same order as the integral
+                // update above — the timeline's provisioned integral is
+                // bitwise equal to `chip_time_integral_ms` at drain.
+                tl.tick(now, self.provisioned);
+            }
             // Fault events dropped as stale (epoch mismatch) or moot
             // (no work left) must not stretch the makespan: an armed
             // failure popping long after the last completion would
@@ -573,11 +603,33 @@ impl Engine<'_> {
             }
             self.shed_if_browned_out(now);
             self.dispatch(cost);
+            if let Some(tl) = &mut self.timeline {
+                tl.sample_queue_depth(now, self.policy.depth());
+                tl.sample_retry_depth(now, self.parked.len());
+            }
         }
 
         for (i, c) in self.chips.iter().enumerate() {
             assert!(!c.busy, "chip {i} still busy at drain");
             self.acc.busy_ms[i] = c.busy_ms;
+        }
+        if let Some(tl) = &mut self.timeline {
+            tl.finalize(self.acc.makespan_ms);
+            // The timeline must never drift from the metrics it
+            // explains: both sides replayed identical f64 op sequences,
+            // so require bitwise equality, not closeness.
+            assert_eq!(
+                tl.provisioned_integral_ms().to_bits(),
+                self.acc.chip_time_integral_ms.to_bits(),
+                "timeline provisioned integral drifted from chip-time integral"
+            );
+            for (i, &busy) in self.acc.busy_ms.iter().enumerate() {
+                assert_eq!(
+                    tl.busy_ms(i).to_bits(),
+                    busy.to_bits(),
+                    "timeline busy accumulator drifted from chip {i} busy_ms"
+                );
+            }
         }
         assert_eq!(
             self.policy.depth(),
@@ -599,6 +651,7 @@ impl Engine<'_> {
             records: std::mem::take(&mut self.records),
             trace: std::mem::take(&mut self.trace),
             trace_hash,
+            timeline: self.timeline.take(),
         })
     }
 
@@ -674,12 +727,28 @@ impl Engine<'_> {
                 id: req.id,
                 tenant: req.tenant,
             });
+            if let Some(tl) = &mut self.timeline {
+                tl.admission(
+                    now,
+                    req.id,
+                    u64::from(req.tenant),
+                    AdmissionOutcome::Rejected,
+                );
+            }
         } else {
             self.trace.push(TraceEntry::Admitted {
                 time_ms: now,
                 id: req.id,
                 tenant: req.tenant,
             });
+            if let Some(tl) = &mut self.timeline {
+                tl.admission(
+                    now,
+                    req.id,
+                    u64::from(req.tenant),
+                    AdmissionOutcome::Admitted,
+                );
+            }
             self.enqueue(req);
         }
         Ok(())
@@ -721,6 +790,14 @@ impl Engine<'_> {
         if self.admission_full(req.tenant) {
             // Re-admission refused: park again (another attempt) or
             // lose. Rejection is terminal only for fresh arrivals.
+            if let Some(tl) = &mut self.timeline {
+                tl.admission(
+                    now,
+                    req.id,
+                    u64::from(req.tenant),
+                    AdmissionOutcome::RetryRejected,
+                );
+            }
             self.route_retry_or_lost(req, now);
         } else {
             // A fresh deadline — the old one is already blown or at
@@ -728,6 +805,14 @@ impl Engine<'_> {
             req.deadline_ms = now
                 + self.cfg.deadline_slack_ms
                 + self.cfg.deadline_factor * cost.proof_ms(req.class.gate, req.class.mu);
+            if let Some(tl) = &mut self.timeline {
+                tl.admission(
+                    now,
+                    req.id,
+                    u64::from(req.tenant),
+                    AdmissionOutcome::RetryAdmitted,
+                );
+            }
             self.enqueue(req);
         }
         Ok(())
@@ -762,6 +847,9 @@ impl Engine<'_> {
             chip,
             size,
         });
+        if let Some(tl) = &mut self.timeline {
+            tl.complete_busy(chip, now);
+        }
     }
 
     fn on_chip_up(&mut self, chip: usize, now: f64) {
@@ -841,14 +929,23 @@ impl Engine<'_> {
         c.state = ChipState::Failed;
         c.avail_epoch += 1;
         let epoch = c.avail_epoch;
+        let was_busy = c.busy;
+        let unrendered_ms = c.batch_done_ms - now;
         let lost_batch = if c.busy {
             c.busy = false;
-            c.busy_ms -= c.batch_done_ms - now;
+            c.busy_ms -= unrendered_ms;
             c.dispatch_epoch += 1; // invalidate the in-flight BatchDone
             std::mem::take(&mut c.batch)
         } else {
             Vec::new()
         };
+        if let Some(tl) = &mut self.timeline {
+            if was_busy {
+                // Same subtraction the engine just applied to busy_ms.
+                tl.interrupt_busy(chip, now, unrendered_ms);
+            }
+            tl.begin_failed(chip, now);
+        }
         self.provisioned -= 1;
         self.acc.chip_failures += 1;
         self.trace.push(TraceEntry::ChipFail { time_ms: now, chip });
@@ -871,6 +968,9 @@ impl Engine<'_> {
         self.acc.chip_repairs += 1;
         self.trace
             .push(TraceEntry::ChipRepair { time_ms: now, chip });
+        if let Some(tl) = &mut self.timeline {
+            tl.end_failed(chip, now);
+        }
         self.arm_failure(chip, now);
         true
     }
@@ -1075,6 +1175,10 @@ impl Engine<'_> {
                 first_id: live[0].id,
                 size: live.len(),
             });
+            if let Some(tl) = &mut self.timeline {
+                // Same addition the engine just applied to busy_ms.
+                tl.begin_busy(chip_idx, now, live.len(), service_ms);
+            }
             c.batch = live;
             self.acc.batches += 1;
             self.queue.push(

@@ -14,6 +14,7 @@ use zkphire_field::Fr;
 use zkphire_pcs::Commitment;
 use zkphire_poly::{CompositePoly, Mle, MleId, Term};
 use zkphire_sumcheck::{prove_with_threads as sumcheck_prove, prove_zero_check_with_threads};
+use zkphire_telemetry as tele;
 use zkphire_transcript::Transcript;
 
 use crate::circuit::{GateSystem, Witness};
@@ -95,6 +96,9 @@ pub fn prove_with_config(
     transcript: &mut Transcript,
     config: ProverConfig,
 ) -> HyperPlonkProof {
+    // Phase spans cover the five protocol steps contiguously; `repro obs`
+    // asserts their sum reconciles with the enclosing `prove` span.
+    let _prove_span = tele::span("prove");
     let threads = config.threads.max(1);
     let system = pk.circuit.system;
     let mu = pk.circuit.num_vars;
@@ -112,13 +116,23 @@ pub fn prove_with_config(
     );
 
     // Step 1 — Witness Commitments.
-    let witness_commitments: Vec<Commitment> =
-        witness.columns.iter().map(|c| pk.pcs.commit(c)).collect();
+    let witness_commitments: Vec<Commitment> = {
+        let _s = tele::span("prove/witness_commit");
+        witness
+            .columns
+            .iter()
+            .map(|c| {
+                let _w = tele::span("prove/witness_commit/column");
+                pk.pcs.commit(c)
+            })
+            .collect()
+    };
     for c in &witness_commitments {
         transcript.append_bytes(b"hyperplonk/witness", &c.to_bytes());
     }
 
     // Step 2 — Gate Identity ZeroCheck.
+    let gate_span = tele::span("prove/gate_zerocheck");
     let gate = system.gate();
     let mut gate_mles: Vec<Mle> = pk.circuit.selectors.clone();
     gate_mles.extend(witness.columns.iter().cloned());
@@ -131,8 +145,10 @@ pub fn prove_with_config(
         threads,
     );
     let x_zc = gate_out.challenges.clone();
+    drop(gate_span);
 
     // Step 3 — Wire Identity.
+    let perm_span = tele::span("prove/permcheck");
     let beta = transcript.challenge_fr(b"hyperplonk/beta");
     let gamma = transcript.challenge_fr(b"hyperplonk/gamma");
     let perm = build_permutation_data(&witness.columns, &pk.circuit.sigma, beta, gamma);
@@ -164,9 +180,11 @@ pub fn prove_with_config(
         threads,
     );
     let x_pc = perm_out.challenges.clone();
+    drop(perm_span);
 
     // Step 4 — Batch Evaluations. Claims already bound inside the two
     // SumChecks are reused; the remaining ones are evaluated here.
+    let evals_span = tele::span("prove/batch_evals");
     let mut extra_evals: Vec<Fr> = witness.columns.iter().map(|w| w.evaluate(&x_pc)).collect();
     extra_evals.extend(pk.sigma_mles.iter().map(|sg| sg.evaluate(&x_pc)));
     transcript.append_frs(b"hyperplonk/extra_evals", &extra_evals);
@@ -182,8 +200,10 @@ pub fn prove_with_config(
     // π at the root index: the grand product must be one.
     claim_values.push(Fr::ONE);
     debug_assert_eq!(claim_values.len(), layout.len());
+    drop(evals_span);
 
     // Step 5 — OpenCheck + MLE Combine + single opening.
+    let oc_span = tele::span("prove/opencheck");
     let etas = transcript.challenge_frs(b"hyperplonk/opencheck/eta", layout.len());
     let oc_poly = opencheck_composite(system, &etas);
     let k_p = num_distinct_polys(system);
@@ -201,11 +221,20 @@ pub fn prove_with_config(
     let combine_inputs = oc_mles[..k_p].to_vec();
     let oc_out = sumcheck_prove(&oc_poly, oc_mles, transcript, threads);
     let r_star = oc_out.challenges.clone();
+    drop(oc_span);
 
     // MLE Combine: g = Σ ζ_i poly_i, opened once.
+    let opening_span = tele::span("prove/opening");
     let zetas = transcript.challenge_frs(b"hyperplonk/combine/zeta", k_p);
-    let g = mle_combine(&combine_inputs, &zetas, mu, threads);
-    let (opening, opening_value) = pk.pcs.open(&g, &r_star);
+    let g = {
+        let _s = tele::span("prove/opening/mle_combine");
+        mle_combine(&combine_inputs, &zetas, mu, threads)
+    };
+    let (opening, opening_value) = {
+        let _s = tele::span("prove/opening/pcs_open");
+        pk.pcs.open(&g, &r_star)
+    };
+    drop(opening_span);
 
     HyperPlonkProof {
         witness_commitments,

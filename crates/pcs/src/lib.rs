@@ -37,6 +37,7 @@ use rand::Rng;
 use zkphire_curve::{batch_normalize, msm, G1Affine, G1Projective};
 use zkphire_field::Fr;
 use zkphire_poly::Mle;
+use zkphire_telemetry as tele;
 
 /// A commitment to a multilinear polynomial (one G1 point).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +138,7 @@ impl MultilinearKzg {
     ///
     /// Panics if the MLE has more variables than the SRS supports.
     pub fn commit(&self, mle: &Mle) -> Commitment {
+        let _s = tele::span("pcs/commit");
         let level = self.level_for(mle.num_vars());
         Commitment(msm(level, mle.evals()).to_affine())
     }
@@ -151,6 +153,7 @@ impl MultilinearKzg {
     ///
     /// Panics on arity mismatch with the SRS or point.
     pub fn open(&self, mle: &Mle, point: &[Fr]) -> (OpeningProof, Fr) {
+        let _s = tele::span("pcs/open");
         assert_eq!(point.len(), mle.num_vars(), "opening point arity");
         let offset = self.num_vars - mle.num_vars();
         let mut current = mle.clone();

@@ -16,6 +16,7 @@
 
 use zkphire_field::Fr;
 use zkphire_poly::{CompositePoly, Mle};
+use zkphire_telemetry as tele;
 use zkphire_transcript::Transcript;
 
 use crate::ops::{coeff_needs_mul, SumcheckOps};
@@ -123,6 +124,9 @@ fn prove_inner(
     let mut claimed_sum = Fr::ZERO;
 
     for round in 0..num_vars {
+        // Spans live on the orchestrating thread only; the scoped round
+        // workers stay span-free so recording never perturbs them.
+        let _round_span = tele::span("sumcheck/round");
         let evals = match counter.as_deref_mut() {
             Some(ops) => round_evals_counted(poly, &mles, k, ops),
             None => round_evals_parallel(poly, &mles, k, threads),
@@ -142,6 +146,7 @@ fn prove_inner(
                 ops.adds += m.len() as u64; // diff + add per surviving entry
             }
         }
+        let _fold_span = tele::span("sumcheck/fold");
         fold_mles(&mut mles, r, threads);
     }
 

@@ -1,0 +1,38 @@
+//! # zkphire-telemetry
+//!
+//! Deterministic tracing, profiling hooks, and timeline export for the
+//! zkPHIRE prover and fleet. Two recorders, two time domains:
+//!
+//! 1. **Wall-clock profiler** ([`span`] / [`counter_add`] /
+//!    [`hist_record`]): ambient instrumentation for the prover hot
+//!    path. Feature-gated (`record`) static dispatch — disabled builds
+//!    compile every hook to nothing; enabled builds still gate on a
+//!    runtime atomic ([`set_enabled`]) and record into thread-local
+//!    buffers with no allocation on the hot path. Drain a [`Profile`]
+//!    and export it with [`profile_to_chrome`] / [`profile_to_jsonl`].
+//! 2. **Sim-time timeline** ([`SimTimeline`]): explicit, always-compiled
+//!    data the fleet DES opts into at runtime. Every timestamp is
+//!    deterministic simulated time, so traces are byte-identical per
+//!    seed and reconcile *bitwise* with the simulator's own metrics
+//!    (see the module docs in [`timeline`]).
+//!
+//! Plus [`CountingAlloc`], a counting global allocator for the prover's
+//! allocation counter (active only while recording).
+//!
+//! See `docs/OBSERVABILITY.md` for the design rationale, overhead
+//! budget, trace schemas, and a Perfetto how-to.
+
+pub mod alloc;
+pub mod profile;
+pub mod timeline;
+pub mod trace;
+
+pub use alloc::{alloc_counts, reset_alloc_counts, CountingAlloc};
+pub use profile::{
+    counter_add, drain, hist_merge, hist_record, is_enabled, reset, set_enabled, span, Histogram,
+    Profile, Span, SpanRecord,
+};
+pub use timeline::{
+    AdmissionEvent, AdmissionOutcome, ChipPhase, ChipSpan, SeriesPoint, SimTimeline,
+};
+pub use trace::{escape_json, json_num, profile_to_chrome, profile_to_jsonl, ChromeTrace};

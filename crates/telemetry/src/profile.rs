@@ -1,0 +1,761 @@
+//! The wall-clock profiler: span records, counters, log2 histograms,
+//! and (behind the `record` feature) the thread-local recorder that
+//! produces them.
+//!
+//! # Design
+//!
+//! * **Static dispatch, zero cost when disabled.** Every hook
+//!   ([`span`], [`counter_add`], [`hist_record`]) is an `#[inline]`
+//!   function; without the `record` feature the bodies are empty and
+//!   vanish at compile time, so the instrumented prover carries no
+//!   telemetry code at all.
+//! * **No allocation on the hot path.** Spans are fixed-size records
+//!   pushed into a pre-reserved thread-local buffer; counter and
+//!   histogram names are `&'static str`, matched by linear scan over a
+//!   handful of entries; histograms are fixed 64-bucket arrays.
+//! * **Thread-local span stacks.** Each thread tracks its own nesting
+//!   depth; records carry `(tid, depth)` so the drained profile can
+//!   prove every exit matched an enter ([`Profile::check_well_formed`]).
+//!   Worker threads flush their buffers into the global sink from their
+//!   TLS destructor, so scoped-thread parallelism (the MSM and SumCheck
+//!   workers) needs no per-event synchronization — one mutex lock per
+//!   thread lifetime, not per event. Because `std::thread::scope`
+//!   unblocks when a worker's closure returns (possibly before its TLS
+//!   destructor runs), [`drain`] waits for outstanding thread-locals to
+//!   deregister before collecting.
+//! * **Runtime gate on top.** [`set_enabled`] flips one atomic; when
+//!   off (the default), an armed build still records nothing and each
+//!   hook costs one relaxed load and a branch.
+
+use std::collections::BTreeMap;
+
+/// One finished span: a named wall-clock interval on one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `prove/witness_commit`.
+    pub name: &'static str,
+    /// Start offset from the process clock base (ns).
+    pub start_ns: u64,
+    /// Duration (ns).
+    pub dur_ns: u64,
+    /// Recorder-assigned thread index (0 = first thread to record
+    /// after the last [`reset`]).
+    pub tid: u32,
+    /// Nesting depth at entry (0 = top-level).
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    /// End offset (ns).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A power-of-two-bucketed histogram of `u64` samples. Bucket `0` holds
+/// zeros; bucket `b ≥ 1` holds values with `floor(log2 v) == b - 1`
+/// (i.e. `v ∈ [2^(b-1), 2^b)`), saturating at bucket 63.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sample count per log2 bucket.
+    pub buckets: [u64; 64],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value lands in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (((63 - value.leading_zeros()) as usize) + 1).min(63)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition —
+    /// commutative, so merge order never changes the result).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything one recording session produced, returned by [`drain`].
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Finished spans, in flush order (per-thread exit order).
+    pub spans: Vec<SpanRecord>,
+    /// Named monotone counters, merged across threads.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named histograms, merged across threads.
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Profile {
+    /// Total duration of every span with this exact name.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Number of spans with this exact name.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).count() as u64
+    }
+
+    /// A counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Span names observed at `depth`, deduplicated, in first-exit order.
+    pub fn names_at_depth(&self, depth: u32) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for s in self.spans.iter().filter(|s| s.depth == depth) {
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+        names
+    }
+
+    /// Verifies the span forest is well-formed: on every thread, spans
+    /// are properly nested (any two intervals are disjoint or one
+    /// contains the other) and each span's recorded depth equals its
+    /// number of open ancestors. A guard dropped out of order, a
+    /// missed exit, or a depth-counter bug all surface here.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let mut tids: Vec<u32> = self.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let mut spans: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.tid == tid).collect();
+            // Parent-first at equal starts: the longer interval opens
+            // the scope the shorter one nests in.
+            spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.dur_ns.cmp(&a.dur_ns)));
+            let mut open: Vec<u64> = Vec::new(); // ancestor end times
+            for s in spans {
+                while open.last().is_some_and(|&end| end <= s.start_ns) {
+                    open.pop();
+                }
+                if let Some(&end) = open.last() {
+                    if s.end_ns() > end {
+                        return Err(format!(
+                            "span `{}` on tid {tid} overlaps its ancestor \
+                             (ends {} after the enclosing span's {end})",
+                            s.name,
+                            s.end_ns(),
+                        ));
+                    }
+                }
+                if s.depth as usize != open.len() {
+                    return Err(format!(
+                        "span `{}` on tid {tid} recorded depth {} but has \
+                         {} open ancestors — an exit did not match its enter",
+                        s.name,
+                        s.depth,
+                        open.len()
+                    ));
+                }
+                open.push(s.end_ns());
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------------
+// The live recorder (only with the `record` feature).
+// ------------------------------------------------------------------------
+
+#[cfg(feature = "record")]
+mod recorder {
+    use super::{Histogram, Profile, SpanRecord};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Flush a thread's span buffer into the sink at this many records.
+    const FLUSH_AT: usize = 4096;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// Bumped by [`reset`]; thread-locals adopt the new epoch lazily and
+    /// discard anything recorded under an old one.
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+    struct Sink {
+        spans: Vec<SpanRecord>,
+        counters: Vec<(&'static str, u64)>,
+        hists: Vec<(&'static str, Histogram)>,
+        next_tid: u32,
+        /// Thread-locals registered under the current epoch whose final
+        /// (destructor) flush has not landed yet. `drain` waits for this
+        /// to fall to 1 (itself): `std::thread::scope` unblocks when a
+        /// worker's *closure* returns, which can be before the worker's
+        /// TLS destructor has flushed, so without the wait a drain racing
+        /// a just-joined scope could miss worker data.
+        live_locals: u32,
+    }
+
+    fn sink() -> &'static Mutex<Sink> {
+        static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+        SINK.get_or_init(|| {
+            Mutex::new(Sink {
+                spans: Vec::new(),
+                counters: Vec::new(),
+                hists: Vec::new(),
+                next_tid: 0,
+                live_locals: 0,
+            })
+        })
+    }
+
+    fn clock() -> &'static Instant {
+        static CLOCK: OnceLock<Instant> = OnceLock::new();
+        CLOCK.get_or_init(Instant::now)
+    }
+
+    pub fn now_ns() -> u64 {
+        clock().elapsed().as_nanos() as u64
+    }
+
+    struct Local {
+        epoch: u64,
+        tid: u32,
+        depth: u32,
+        spans: Vec<SpanRecord>,
+        counters: Vec<(&'static str, u64)>,
+        hists: Vec<(&'static str, Histogram)>,
+    }
+
+    impl Local {
+        fn flush(&mut self) {
+            if self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+                return;
+            }
+            // One lock per flush (≥ FLUSH_AT events or thread exit),
+            // never per event.
+            let mut sink = sink().lock().expect("telemetry sink poisoned");
+            sink.spans.append(&mut self.spans);
+            for (name, v) in self.counters.drain(..) {
+                match sink.counters.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += v,
+                    None => sink.counters.push((name, v)),
+                }
+            }
+            for (name, h) in self.hists.drain(..) {
+                match sink.hists.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => total.merge(&h),
+                    None => sink.hists.push((name, h)),
+                }
+            }
+        }
+    }
+
+    impl Drop for Local {
+        fn drop(&mut self) {
+            // Thread exit: hand everything to the sink. Stale-epoch data
+            // is filtered below (epoch mismatch discards, not flushes).
+            if self.epoch == EPOCH.load(Ordering::Relaxed) {
+                self.flush();
+            }
+            // Deregister, re-checking the epoch under the sink lock: if a
+            // reset slipped in after the flush above, the new epoch's
+            // count does not include this local and must not be touched.
+            let mut sink = sink().lock().expect("telemetry sink poisoned");
+            if self.epoch == EPOCH.load(Ordering::Relaxed) {
+                sink.live_locals = sink.live_locals.saturating_sub(1);
+            }
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+    }
+
+    /// Runs `f` on this thread's recorder state, (re)initializing it on
+    /// first use or after a [`reset`].
+    fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
+        LOCAL.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            let stale = slot.as_ref().is_some_and(|l| l.epoch != epoch);
+            if slot.is_none() || stale {
+                // Epoch is re-read under the sink lock (reset bumps it
+                // under the same lock), so the live_locals increment is
+                // always attributed to the epoch it was counted under.
+                let (tid, epoch) = {
+                    let mut sink = sink().lock().expect("telemetry sink poisoned");
+                    let epoch = EPOCH.load(Ordering::Relaxed);
+                    let tid = sink.next_tid;
+                    sink.next_tid += 1;
+                    sink.live_locals += 1;
+                    (tid, epoch)
+                };
+                *slot = Some(Local {
+                    epoch,
+                    tid,
+                    depth: 0,
+                    spans: Vec::with_capacity(FLUSH_AT),
+                    counters: Vec::new(),
+                    hists: Vec::new(),
+                });
+            }
+            f(slot.as_mut().expect("just initialized"))
+        })
+    }
+
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub fn span_enter() -> u64 {
+        with_local(|l| l.depth += 1);
+        now_ns()
+    }
+
+    pub fn span_exit(name: &'static str, start_ns: u64) {
+        let end = now_ns();
+        with_local(|l| {
+            l.depth = l.depth.saturating_sub(1);
+            let depth = l.depth;
+            l.spans.push(SpanRecord {
+                name,
+                start_ns,
+                dur_ns: end.saturating_sub(start_ns),
+                tid: l.tid,
+                depth,
+            });
+            if l.spans.len() >= FLUSH_AT {
+                l.flush();
+            }
+        });
+    }
+
+    pub fn counter_add(name: &'static str, delta: u64) {
+        with_local(|l| match l.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => l.counters.push((name, delta)),
+        });
+    }
+
+    pub fn hist_record(name: &'static str, value: u64) {
+        with_local(|l| match l.hists.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                l.hists.push((name, h));
+            }
+        });
+    }
+
+    pub fn hist_merge(name: &'static str, hist: &Histogram) {
+        with_local(|l| match l.hists.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.merge(hist),
+            None => {
+                let mut h = Histogram::default();
+                h.merge(hist);
+                l.hists.push((name, h));
+            }
+        });
+    }
+
+    /// Discards everything recorded so far and starts a fresh epoch.
+    /// Must not be called while spans are open.
+    pub fn reset() {
+        let mut sink = sink().lock().expect("telemetry sink poisoned");
+        // Bumped under the sink lock so registration (which re-reads the
+        // epoch under the same lock) cannot count a live local against
+        // the wrong epoch.
+        EPOCH.fetch_add(1, Ordering::Relaxed);
+        sink.spans.clear();
+        sink.counters.clear();
+        sink.hists.clear();
+        sink.next_tid = 0;
+        sink.live_locals = 0;
+        drop(sink);
+        // Re-register this thread immediately so the calling thread
+        // (the one driving the run) deterministically gets tid 0.
+        with_local(|_| {});
+    }
+
+    /// Flushes the calling thread and collects the sink into a
+    /// [`Profile`].
+    ///
+    /// Worker threads flush from their TLS destructors, but
+    /// `std::thread::scope` unblocks as soon as a worker's closure
+    /// returns — the destructor may still be pending. So this waits
+    /// (bounded) for every registered local except the caller's own to
+    /// deregister before collecting. The wait is a no-op in the common
+    /// case and gives up after ~1 s so a long-lived registered thread
+    /// (a pool thread holding its buffer) degrades to a partial drain
+    /// rather than a deadlock.
+    pub fn drain() -> Profile {
+        with_local(Local::flush);
+        let deadline = Instant::now() + std::time::Duration::from_secs(1);
+        loop {
+            let outstanding = {
+                let sink = sink().lock().expect("telemetry sink poisoned");
+                sink.live_locals
+            };
+            if outstanding <= 1 || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut sink = sink().lock().expect("telemetry sink poisoned");
+        let mut profile = Profile {
+            spans: std::mem::take(&mut sink.spans),
+            counters: sink.counters.drain(..).collect(),
+            hists: sink.hists.drain(..).collect(),
+        };
+        // Flush order depends on thread scheduling; name-major sort
+        // restores a deterministic order within each (tid, start) line.
+        profile
+            .spans
+            .sort_by(|a, b| (a.tid, a.start_ns, b.dur_ns).cmp(&(b.tid, b.start_ns, a.dur_ns)));
+        profile
+    }
+}
+
+// ------------------------------------------------------------------------
+// Public facade: real in `record` builds, inlined no-ops otherwise.
+// ------------------------------------------------------------------------
+
+/// RAII span guard: records a [`SpanRecord`] when dropped. Obtain via
+/// [`span`]; hold it for the duration of the phase it names.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span {
+    #[cfg(feature = "record")]
+    name: &'static str,
+    #[cfg(feature = "record")]
+    start_ns: u64,
+    #[cfg(feature = "record")]
+    armed: bool,
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "record")]
+        if self.armed {
+            recorder::span_exit(self.name, self.start_ns);
+        }
+    }
+}
+
+/// Opens a named span on the current thread. When recording is off
+/// (feature or runtime), this is free and the guard does nothing.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "record")]
+    {
+        let _ = name;
+        if recorder::is_enabled() {
+            return Span {
+                name,
+                start_ns: recorder::span_enter(),
+                armed: true,
+            };
+        }
+        Span {
+            name,
+            start_ns: 0,
+            armed: false,
+        }
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+/// Adds `delta` to the named counter (no-op when recording is off).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    #[cfg(feature = "record")]
+    if recorder::is_enabled() {
+        recorder::counter_add(name, delta);
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        let _ = (name, delta);
+    }
+}
+
+/// Records `value` into the named histogram (no-op when recording is off).
+#[inline]
+pub fn hist_record(name: &'static str, value: u64) {
+    #[cfg(feature = "record")]
+    if recorder::is_enabled() {
+        recorder::hist_record(name, value);
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        let _ = (name, value);
+    }
+}
+
+/// Merges a locally accumulated [`Histogram`] into the named histogram
+/// in one recorder access (no-op when recording is off, or when `hist`
+/// is empty). Hot loops with many samples per iteration should build a
+/// stack-local `Histogram` and merge it once, instead of paying the
+/// thread-local lookup of [`hist_record`] per sample; merging is
+/// bucket-wise addition, so the drained result is identical.
+#[inline]
+pub fn hist_merge(name: &'static str, hist: &Histogram) {
+    #[cfg(feature = "record")]
+    if recorder::is_enabled() && hist.count > 0 {
+        recorder::hist_merge(name, hist);
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        let _ = (name, hist);
+    }
+}
+
+/// Turns runtime recording on or off. Without the `record` feature this
+/// does nothing and [`is_enabled`] stays `false`.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "record")]
+    recorder::set_enabled(on);
+    #[cfg(not(feature = "record"))]
+    let _ = on;
+}
+
+/// Whether hooks currently record. Always `false` without the `record`
+/// feature — callers can hoist loops behind this check and have the
+/// whole block vanish in disabled builds.
+#[inline]
+pub fn is_enabled() -> bool {
+    #[cfg(feature = "record")]
+    {
+        recorder::is_enabled()
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        false
+    }
+}
+
+/// Discards all recorded data and starts a fresh session. The calling
+/// thread is re-registered first, so it deterministically records as
+/// tid 0. Must not be called while spans are open.
+pub fn reset() {
+    #[cfg(feature = "record")]
+    recorder::reset();
+}
+
+/// Collects everything recorded since the last [`reset`] into a
+/// [`Profile`]. Returns an empty profile without the `record` feature.
+pub fn drain() -> Profile {
+    #[cfg(feature = "record")]
+    {
+        recorder::drain()
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        Profile::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 10);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 5);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 2);
+        let mut m = Histogram::default();
+        m.merge(&h);
+        assert_eq!(m, h);
+    }
+
+    #[cfg(not(feature = "record"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        set_enabled(true);
+        assert!(!is_enabled(), "record feature off ⇒ never enabled");
+        let _s = span("noop");
+        counter_add("noop", 1);
+        hist_record("noop", 1);
+        drop(_s);
+        let p = drain();
+        assert!(p.spans.is_empty());
+        assert!(p.counters.is_empty());
+        assert!(p.hists.is_empty());
+    }
+
+    /// The recorder is process-global and the harness runs tests on
+    /// several threads; sessions must not interleave.
+    #[cfg(feature = "record")]
+    fn session_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn spans_nest_and_drain() {
+        let _guard = session_guard();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+            counter_add("c", 2);
+            counter_add("c", 3);
+            hist_record("h", 7);
+        }
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.span_count("outer"), 1);
+        assert_eq!(p.span_count("inner"), 2);
+        assert_eq!(p.counter("c"), 5);
+        assert_eq!(p.hists["h"].count, 1);
+        let outer = p.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner_total = p.total_ns("inner");
+        assert!(outer.depth == 0);
+        assert!(p
+            .spans
+            .iter()
+            .filter(|s| s.name == "inner")
+            .all(|s| s.depth == 1));
+        assert!(inner_total <= outer.dur_ns, "children exceed parent");
+        p.check_well_formed().expect("well-formed");
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = session_guard();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = span("worker");
+                    counter_add("work", 1);
+                    hist_record("vals", 16);
+                });
+            }
+        });
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.span_count("worker"), 3);
+        assert_eq!(p.counter("work"), 3);
+        assert_eq!(p.hists["vals"].count, 3);
+        p.check_well_formed().expect("well-formed");
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn disabled_runtime_records_nothing() {
+        let _guard = session_guard();
+        reset();
+        set_enabled(false);
+        let _s = span("ghost");
+        counter_add("ghost", 1);
+        drop(_s);
+        let p = drain();
+        assert_eq!(p.span_count("ghost"), 0);
+        assert_eq!(p.counter("ghost"), 0);
+    }
+
+    #[test]
+    fn well_formed_rejects_overlap() {
+        let p = Profile {
+            spans: vec![
+                SpanRecord {
+                    name: "a",
+                    start_ns: 0,
+                    dur_ns: 10,
+                    tid: 0,
+                    depth: 0,
+                },
+                SpanRecord {
+                    name: "b",
+                    start_ns: 5,
+                    dur_ns: 10,
+                    tid: 0,
+                    depth: 1,
+                },
+            ],
+            ..Profile::default()
+        };
+        assert!(p.check_well_formed().is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! Sim-time timelines for the fleet DES.
+//!
+//! Unlike the wall-clock profiler (feature-gated, ambient), the
+//! timeline is plain data the simulator opts into at runtime: every
+//! timestamp is deterministic simulated milliseconds, so a recorded
+//! timeline is byte-identical for a given seed at any thread count and
+//! can be golden-pinned.
+//!
+//! # Reconciliation by construction
+//!
+//! The timeline never re-derives the metrics it explains — it *replays
+//! the engine's own floating-point operations in the engine's order*:
+//!
+//! * [`SimTimeline::tick`] accumulates `provisioned × Δt` with the same
+//!   `+=`/`*` sequence the engine uses for its chip-time integral, so
+//!   [`SimTimeline::provisioned_integral_ms`] is **bitwise equal** to
+//!   the engine's `chip_time_integral_ms` (hence to reported
+//!   chip-seconds), not merely close.
+//! * [`SimTimeline::begin_busy`] adds the planned service time and
+//!   [`SimTimeline::interrupt_busy`] subtracts the unrendered remainder
+//!   — the same two ops, in the same order, on the same values as the
+//!   engine's per-chip `busy_ms` — so [`SimTimeline::busy_ms`] is
+//!   bitwise equal to the per-chip busy the summary's utilization is
+//!   computed from.
+//!
+//! f64 addition is not associative, so "integrate the exported spans"
+//! would drift in the last ulp; replaying the op sequence cannot.
+
+use crate::trace::{escape_json, json_num, ChromeTrace};
+
+/// What a chip-track span represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChipPhase {
+    /// Serving a batch (dispatch → completion or interruption).
+    Busy,
+    /// Failed (failure → repair). Idle is the gap between spans.
+    Failed,
+}
+
+impl ChipPhase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChipPhase::Busy => "busy",
+            ChipPhase::Failed => "failed",
+        }
+    }
+}
+
+/// One closed interval on a chip's timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChipSpan {
+    pub chip: u32,
+    pub phase: ChipPhase,
+    pub start_ms: f64,
+    pub end_ms: f64,
+    /// Requests in the batch (0 for failure spans).
+    pub batch_size: u32,
+}
+
+/// One sample of a step time series (value holds until the next point).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    pub t_ms: f64,
+    pub value: f64,
+}
+
+/// An admission decision, per tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Fresh arrival admitted to the queue.
+    Admitted,
+    /// Fresh arrival refused (terminal).
+    Rejected,
+    /// Parked retry re-admitted to the queue.
+    RetryAdmitted,
+    /// Parked retry refused again (re-parked or lost).
+    RetryRejected,
+}
+
+impl AdmissionOutcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmissionOutcome::Admitted => "admitted",
+            AdmissionOutcome::Rejected => "rejected",
+            AdmissionOutcome::RetryAdmitted => "retry_admitted",
+            AdmissionOutcome::RetryRejected => "retry_rejected",
+        }
+    }
+}
+
+/// A recorded admission decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionEvent {
+    pub t_ms: f64,
+    pub id: u64,
+    pub tenant: u64,
+    pub outcome: AdmissionOutcome,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OpenSpan {
+    phase: ChipPhase,
+    start_ms: f64,
+    batch_size: u32,
+}
+
+/// The fleet simulator's deterministic observability record: per-chip
+/// busy/failed spans, queue/retry/provisioned step series, and
+/// per-tenant admission decisions, all in sim time.
+#[derive(Clone, Debug)]
+pub struct SimTimeline {
+    num_chips: usize,
+    spans: Vec<ChipSpan>,
+    open: Vec<Option<OpenSpan>>,
+    busy_ms: Vec<f64>,
+    last_tick_ms: f64,
+    provisioned_integral_ms: f64,
+    provisioned: Vec<SeriesPoint>,
+    queue_depth: Vec<SeriesPoint>,
+    retry_depth: Vec<SeriesPoint>,
+    admissions: Vec<AdmissionEvent>,
+    makespan_ms: f64,
+}
+
+impl SimTimeline {
+    pub fn new(num_chips: usize) -> Self {
+        Self {
+            num_chips,
+            spans: Vec::new(),
+            open: vec![None; num_chips],
+            busy_ms: vec![0.0; num_chips],
+            last_tick_ms: 0.0,
+            provisioned_integral_ms: 0.0,
+            provisioned: Vec::new(),
+            queue_depth: Vec::new(),
+            retry_depth: Vec::new(),
+            admissions: Vec::new(),
+            makespan_ms: 0.0,
+        }
+    }
+
+    /// Advances sim time to `now_ms` with `provisioned` chips counted
+    /// over the elapsed interval. Call exactly where (and with exactly
+    /// the values) the engine updates its own chip-time integral: the
+    /// accumulation here is the same op sequence, so the results match
+    /// bitwise.
+    pub fn tick(&mut self, now_ms: f64, provisioned: usize) {
+        self.provisioned_integral_ms += provisioned as f64 * (now_ms - self.last_tick_ms);
+        self.last_tick_ms = now_ms;
+        push_step(&mut self.provisioned, now_ms, provisioned as f64);
+    }
+
+    /// A batch dispatched: opens a busy span and counts the planned
+    /// service time (the engine's `busy_ms += service_ms`).
+    pub fn begin_busy(&mut self, chip: usize, now_ms: f64, batch_size: usize, service_ms: f64) {
+        self.busy_ms[chip] += service_ms;
+        self.open_span(chip, now_ms, ChipPhase::Busy, batch_size as u32);
+    }
+
+    /// The in-flight batch completed: closes the busy span.
+    pub fn complete_busy(&mut self, chip: usize, now_ms: f64) {
+        self.close_span(chip, now_ms, ChipPhase::Busy);
+    }
+
+    /// The in-flight batch was lost to a failure: closes the busy span
+    /// at the interruption and uncounts the service time the chip never
+    /// rendered (the engine's `busy_ms -= remaining`).
+    pub fn interrupt_busy(&mut self, chip: usize, now_ms: f64, unrendered_ms: f64) {
+        self.busy_ms[chip] -= unrendered_ms;
+        self.close_span(chip, now_ms, ChipPhase::Busy);
+    }
+
+    /// The chip failed: opens a failure span.
+    pub fn begin_failed(&mut self, chip: usize, now_ms: f64) {
+        self.open_span(chip, now_ms, ChipPhase::Failed, 0);
+    }
+
+    /// The chip repaired: closes its failure span.
+    pub fn end_failed(&mut self, chip: usize, now_ms: f64) {
+        self.close_span(chip, now_ms, ChipPhase::Failed);
+    }
+
+    /// Samples the shared queue depth (deduplicated step series).
+    pub fn sample_queue_depth(&mut self, now_ms: f64, depth: usize) {
+        push_step(&mut self.queue_depth, now_ms, depth as f64);
+    }
+
+    /// Samples the retry-parking depth (deduplicated step series).
+    pub fn sample_retry_depth(&mut self, now_ms: f64, depth: usize) {
+        push_step(&mut self.retry_depth, now_ms, depth as f64);
+    }
+
+    /// Records an admission decision.
+    pub fn admission(&mut self, t_ms: f64, id: u64, tenant: u64, outcome: AdmissionOutcome) {
+        self.admissions.push(AdmissionEvent {
+            t_ms,
+            id,
+            tenant,
+            outcome,
+        });
+    }
+
+    /// Ends recording: closes any span still open (a chip down at drain
+    /// time) at `makespan_ms` and stamps the horizon used for export.
+    pub fn finalize(&mut self, makespan_ms: f64) {
+        self.makespan_ms = makespan_ms;
+        for chip in 0..self.num_chips {
+            if let Some(open) = self.open[chip].take() {
+                self.spans.push(ChipSpan {
+                    chip: chip as u32,
+                    phase: open.phase,
+                    start_ms: open.start_ms,
+                    end_ms: makespan_ms.max(open.start_ms),
+                    batch_size: open.batch_size,
+                });
+            }
+        }
+    }
+
+    fn open_span(&mut self, chip: usize, now_ms: f64, phase: ChipPhase, batch_size: u32) {
+        debug_assert!(
+            self.open[chip].is_none(),
+            "chip {chip} opened a {} span over an open one",
+            phase.as_str()
+        );
+        self.open[chip] = Some(OpenSpan {
+            phase,
+            start_ms: now_ms,
+            batch_size,
+        });
+    }
+
+    fn close_span(&mut self, chip: usize, now_ms: f64, phase: ChipPhase) {
+        let Some(open) = self.open[chip].take() else {
+            debug_assert!(false, "chip {chip} closed a span it never opened");
+            return;
+        };
+        debug_assert_eq!(open.phase, phase, "chip {chip} span phase mismatch");
+        self.spans.push(ChipSpan {
+            chip: chip as u32,
+            phase: open.phase,
+            start_ms: open.start_ms,
+            end_ms: now_ms,
+            batch_size: open.batch_size,
+        });
+    }
+
+    // -- accessors ------------------------------------------------------
+
+    pub fn num_chips(&self) -> usize {
+        self.num_chips
+    }
+
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ms
+    }
+
+    /// Closed chip spans, in close order.
+    pub fn chip_spans(&self) -> &[ChipSpan] {
+        &self.spans
+    }
+
+    /// Busy milliseconds accumulated for one chip — bitwise equal to
+    /// the engine's per-chip `busy_ms` accumulator (same ops, same
+    /// order, same values).
+    pub fn busy_ms(&self, chip: usize) -> f64 {
+        self.busy_ms[chip]
+    }
+
+    /// ∫ provisioned(t) dt over the run — bitwise equal to the engine's
+    /// `chip_time_integral_ms`.
+    pub fn provisioned_integral_ms(&self) -> f64 {
+        self.provisioned_integral_ms
+    }
+
+    pub fn queue_depth_series(&self) -> &[SeriesPoint] {
+        &self.queue_depth
+    }
+
+    pub fn retry_depth_series(&self) -> &[SeriesPoint] {
+        &self.retry_depth
+    }
+
+    pub fn provisioned_series(&self) -> &[SeriesPoint] {
+        &self.provisioned
+    }
+
+    pub fn admissions(&self) -> &[AdmissionEvent] {
+        &self.admissions
+    }
+
+    /// Busy time for one chip summed from the exported spans (f64 sum
+    /// over close order). Within float tolerance of [`Self::busy_ms`]
+    /// when no batch was interrupted; used by tests to cross-check the
+    /// span record against the accumulator it visualizes.
+    pub fn span_busy_ms(&self, chip: usize) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.chip == chip as u32 && s.phase == ChipPhase::Busy)
+            .map(|s| s.end_ms - s.start_ms)
+            .sum()
+    }
+
+    // -- export ---------------------------------------------------------
+
+    /// Chrome trace-event JSON: one track per chip (busy/failed spans),
+    /// counter tracks for the step series, admission decisions as
+    /// instants on a dedicated track. Timestamps are sim-time µs.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut t = ChromeTrace::new();
+        for chip in 0..self.num_chips {
+            t.thread_name(chip as u32, &format!("chip {chip}"));
+        }
+        let admission_tid = self.num_chips as u32;
+        t.thread_name(admission_tid, "admission");
+        for s in &self.spans {
+            t.complete(
+                s.phase.as_str(),
+                "fleet",
+                s.start_ms * 1000.0,
+                (s.end_ms - s.start_ms) * 1000.0,
+                s.chip,
+                &[("batch", s.batch_size.to_string())],
+            );
+        }
+        for (name, series) in [
+            ("queue_depth", &self.queue_depth),
+            ("retry_depth", &self.retry_depth),
+            ("provisioned_chips", &self.provisioned),
+        ] {
+            for p in series.iter() {
+                t.counter(name, p.t_ms * 1000.0, p.value);
+            }
+        }
+        for a in &self.admissions {
+            t.instant(
+                a.outcome.as_str(),
+                a.t_ms * 1000.0,
+                admission_tid,
+                &[("id", a.id.to_string()), ("tenant", a.tenant.to_string())],
+            );
+        }
+        t.finish()
+    }
+
+    /// Compact JSONL: a meta line, then chip spans, series points, and
+    /// admissions — all sim-time, deterministic per seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"kind\":\"meta\",\"chips\":{},\"makespan_ms\":{},\"provisioned_integral_ms\":{}}}\n",
+            self.num_chips,
+            json_num(self.makespan_ms),
+            json_num(self.provisioned_integral_ms),
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"kind\":\"chip_span\",\"chip\":{},\"phase\":\"{}\",\"start_ms\":{},\"end_ms\":{},\"batch\":{}}}\n",
+                s.chip,
+                s.phase.as_str(),
+                json_num(s.start_ms),
+                json_num(s.end_ms),
+                s.batch_size,
+            ));
+        }
+        for (name, series) in [
+            ("queue_depth", &self.queue_depth),
+            ("retry_depth", &self.retry_depth),
+            ("provisioned_chips", &self.provisioned),
+        ] {
+            for p in series.iter() {
+                out.push_str(&format!(
+                    "{{\"kind\":\"series\",\"name\":\"{}\",\"t_ms\":{},\"value\":{}}}\n",
+                    escape_json(name),
+                    json_num(p.t_ms),
+                    json_num(p.value),
+                ));
+            }
+        }
+        for a in &self.admissions {
+            out.push_str(&format!(
+                "{{\"kind\":\"admission\",\"t_ms\":{},\"id\":{},\"tenant\":{},\"outcome\":\"{}\"}}\n",
+                json_num(a.t_ms),
+                a.id,
+                a.tenant,
+                a.outcome.as_str(),
+            ));
+        }
+        out
+    }
+}
+
+/// Appends a step-series point, skipping consecutive duplicates of the
+/// same value (the series semantics are "holds until the next point").
+fn push_step(series: &mut Vec<SeriesPoint>, t_ms: f64, value: f64) {
+    if let Some(last) = series.last_mut() {
+        if last.value == value {
+            return;
+        }
+        if last.t_ms == t_ms {
+            // Same instant, newer value wins.
+            last.value = value;
+            return;
+        }
+    }
+    series.push(SeriesPoint { t_ms, value });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_replays_integral() {
+        let mut tl = SimTimeline::new(2);
+        // Mirror an engine accumulating by hand.
+        let mut engine_integral = 0.0f64;
+        let mut last = 0.0f64;
+        for (now, prov) in [(1.5, 2usize), (3.25, 2), (7.125, 1), (9.0, 2)] {
+            engine_integral += prov as f64 * (now - last);
+            last = now;
+            tl.tick(now, prov);
+        }
+        assert_eq!(
+            tl.provisioned_integral_ms().to_bits(),
+            engine_integral.to_bits(),
+            "integral must replay bitwise"
+        );
+        // Dedup: 4 ticks, 3 distinct values -> 3 points.
+        assert_eq!(tl.provisioned_series().len(), 3);
+    }
+
+    #[test]
+    fn busy_accumulator_mirrors_engine_ops() {
+        let mut tl = SimTimeline::new(1);
+        let service = 10.7f64;
+        tl.begin_busy(0, 5.0, 4, service);
+        // Fail at t=9: engine does busy_ms -= batch_done - now.
+        let unrendered = (5.0 + service) - 9.0;
+        tl.interrupt_busy(0, 9.0, unrendered);
+        tl.begin_failed(0, 9.0);
+        tl.end_failed(0, 20.0);
+        tl.begin_busy(0, 21.0, 2, 3.5);
+        tl.complete_busy(0, 24.5);
+        tl.finalize(24.5);
+
+        let mut engine_busy = 0.0f64;
+        engine_busy += service;
+        engine_busy -= unrendered;
+        engine_busy += 3.5;
+        assert_eq!(tl.busy_ms(0).to_bits(), engine_busy.to_bits());
+
+        let spans = tl.chip_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].phase, ChipPhase::Busy);
+        assert_eq!((spans[0].start_ms, spans[0].end_ms), (5.0, 9.0));
+        assert_eq!(spans[1].phase, ChipPhase::Failed);
+        assert_eq!((spans[1].start_ms, spans[1].end_ms), (9.0, 20.0));
+        // Span-integral cross-check: interrupted busy counts wall 4.0,
+        // accumulator counts 10.7 - 6.7 = 4.0 — equal here by design.
+        assert!((tl.span_busy_ms(0) - tl.busy_ms(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_closes_open_failure() {
+        let mut tl = SimTimeline::new(1);
+        tl.begin_failed(0, 3.0);
+        tl.finalize(8.0);
+        let spans = tl.chip_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, ChipPhase::Failed);
+        assert_eq!(spans[0].end_ms, 8.0);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_parseable_shape() {
+        let mut tl = SimTimeline::new(2);
+        tl.tick(1.0, 2);
+        tl.begin_busy(0, 1.0, 3, 4.0);
+        tl.sample_queue_depth(1.0, 5);
+        tl.admission(1.0, 42, 7, AdmissionOutcome::Admitted);
+        tl.complete_busy(0, 5.0);
+        tl.tick(5.0, 2);
+        tl.finalize(5.0);
+        let a = tl.to_jsonl();
+        let b = tl.clone().to_jsonl();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"kind\":\"meta\""));
+        assert!(a.contains("\"kind\":\"chip_span\""));
+        assert!(a.contains("\"outcome\":\"admitted\""));
+        let chrome = tl.to_chrome_trace();
+        assert!(chrome.contains("\"name\":\"chip 0\""));
+        assert!(chrome.contains("\"name\":\"busy\""));
+        assert!(chrome.contains("\"name\":\"queue_depth\""));
+        assert!(chrome.contains("\"name\":\"admission\""));
+    }
+
+    #[test]
+    fn step_series_dedups() {
+        let mut s = Vec::new();
+        push_step(&mut s, 0.0, 1.0);
+        push_step(&mut s, 1.0, 1.0);
+        push_step(&mut s, 2.0, 3.0);
+        push_step(&mut s, 2.0, 4.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].value, 4.0);
+    }
+}

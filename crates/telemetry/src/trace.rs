@@ -1,0 +1,270 @@
+//! Trace export: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and a compact JSONL stream.
+//!
+//! Everything is hand-rolled string building, matching the rest of the
+//! workspace (no serde). Numbers are formatted with Rust's `Display`,
+//! which emits the shortest round-trip decimal — deterministic across
+//! platforms, so sim-time traces can be golden-pinned byte-for-byte.
+
+use crate::profile::Profile;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`Display` shortest form; non-finite
+/// values are clamped to 0 — they have no JSON representation).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Incrementally builds a Chrome trace-event JSON document.
+///
+/// The produced document is `{"traceEvents":[...],"displayTimeUnit":"ms"}`
+/// with events in insertion order. Timestamps (`ts`, `dur`) are in
+/// microseconds per the trace-event spec.
+#[derive(Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a complete (`ph:"X"`) event: a named interval on a track.
+    /// `args` are extra `key:value` pairs, values pre-rendered as JSON.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        tid: u32,
+        args: &[(&str, String)],
+    ) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}{}}}",
+            escape_json(name),
+            escape_json(cat),
+            json_num(ts_us),
+            json_num(dur_us),
+            tid,
+            render_args(args),
+        ));
+    }
+
+    /// Adds a counter (`ph:"C"`) sample; Perfetto renders these as a
+    /// stacked time series per counter name.
+    pub fn counter(&mut self, name: &str, ts_us: f64, value: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+            escape_json(name),
+            json_num(ts_us),
+            json_num(value),
+        ));
+    }
+
+    /// Adds an instant (`ph:"i"`) event with thread scope.
+    pub fn instant(&mut self, name: &str, ts_us: f64, tid: u32, args: &[(&str, String)]) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{}{}}}",
+            escape_json(name),
+            json_num(ts_us),
+            tid,
+            render_args(args),
+        ));
+    }
+
+    /// Names a track (`ph:"M"` thread_name metadata).
+    pub fn thread_name(&mut self, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape_json(name),
+        ));
+    }
+
+    /// Serializes the document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 != self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn render_args(args: &[(&str, String)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+        .collect();
+    format!(",\"args\":{{{}}}", body.join(","))
+}
+
+/// Renders a wall-clock [`Profile`] as a Chrome trace document: one
+/// track per recorder tid, spans as complete events, counters and
+/// histogram summaries as trailing counter samples.
+pub fn profile_to_chrome(profile: &Profile) -> String {
+    let mut trace = ChromeTrace::new();
+    let mut tids: Vec<u32> = profile.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for &tid in &tids {
+        let label = if tid == 0 {
+            "prover main".to_string()
+        } else {
+            format!("worker {tid}")
+        };
+        trace.thread_name(tid, &label);
+    }
+    for s in &profile.spans {
+        trace.complete(
+            s.name,
+            "prover",
+            s.start_ns as f64 / 1000.0,
+            s.dur_ns as f64 / 1000.0,
+            s.tid,
+            &[("depth", s.depth.to_string())],
+        );
+    }
+    let end_us = profile.spans.iter().map(|s| s.end_ns()).max().unwrap_or(0) as f64 / 1000.0;
+    for (name, v) in &profile.counters {
+        trace.counter(name, end_us, *v as f64);
+    }
+    for (name, h) in &profile.hists {
+        trace.counter(&format!("{name}/count"), end_us, h.count as f64);
+        trace.counter(&format!("{name}/mean"), end_us, h.mean());
+    }
+    trace.finish()
+}
+
+/// Renders a wall-clock [`Profile`] as compact JSONL: one object per
+/// span, then one per counter, then one per histogram.
+pub fn profile_to_jsonl(profile: &Profile) -> String {
+    let mut out = String::new();
+    for s in &profile.spans {
+        out.push_str(&format!(
+            "{{\"kind\":\"span\",\"name\":\"{}\",\"tid\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
+            escape_json(s.name),
+            s.tid,
+            s.depth,
+            s.start_ns,
+            s.dur_ns,
+        ));
+    }
+    for (name, v) in &profile.counters {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+            escape_json(name),
+            v,
+        ));
+    }
+    for (name, h) in &profile.hists {
+        out.push_str(&format!(
+            "{{\"kind\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}\n",
+            escape_json(name),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            json_num(h.mean()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Histogram, SpanRecord};
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_doc_shape() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(0, "chip 0");
+        t.complete("busy", "fleet", 0.0, 1500.0, 0, &[("batch", "4".into())]);
+        t.counter("queue_depth", 10.0, 3.0);
+        t.instant("admit", 5.0, 1, &[]);
+        let doc = t.finish();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"args\":{\"batch\":4}"));
+    }
+
+    #[test]
+    fn profile_exports() {
+        let mut p = Profile::default();
+        p.spans.push(SpanRecord {
+            name: "prove",
+            start_ns: 1000,
+            dur_ns: 5000,
+            tid: 0,
+            depth: 0,
+        });
+        p.counters.insert("msm/windows", 7);
+        let mut h = Histogram::default();
+        h.record(3);
+        p.hists.insert("msm/bucket_occupancy", h);
+        let chrome = profile_to_chrome(&p);
+        assert!(chrome.contains("\"name\":\"prove\""));
+        assert!(chrome.contains("\"name\":\"msm/windows\""));
+        let jsonl = profile_to_jsonl(&p);
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"kind\":\"span\""));
+        assert!(jsonl.contains("\"kind\":\"hist\""));
+    }
+
+    #[test]
+    fn json_num_clamps_nonfinite() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(f64::INFINITY), "0");
+    }
+}

@@ -7,6 +7,10 @@
 //! buys a light tenant sharing the fleet with a flooder.
 //!
 //! Run with `cargo run --release -p zkphire-examples --bin fleet_sim`.
+//! Pass `--trace out.json` to also dump the chip-utilization timeline
+//! of the failure scenario (step 6) as a Chrome trace-event file —
+//! load it in Perfetto and the 1-of-4-chip outage is visible as a gap
+//! in chip 0's track.
 
 use zkphire_core::costdb::CostModel;
 use zkphire_core::system::ZkphireConfig;
@@ -17,6 +21,12 @@ use zkphire_fleet::{
 };
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let horizon_ms = 5_000.0;
     let seed = 2026;
     let mix = WorkloadMix::table_vii_jellyfish(21);
@@ -191,5 +201,27 @@ fn main() {
             "{label:12} goodput {:7.1}/s  p99 {:8.2} ms  retries {:4}  lost {:3}  shed {:3}",
             s.goodput_rps, s.p99_latency_ms, s.retries, s.lost, s.shed
         );
+    }
+
+    // 7. Optional timeline export: the resilient variant again, with
+    //    the sim-time recorder on, dumped as a Perfetto-loadable trace.
+    if let Some(path) = trace_path {
+        let cfg = FleetConfig::new(4)
+            .with_faults(FaultConfig::scripted(vec![ChipOutage::new(
+                0, 1_000.0, 1_500.0,
+            )]))
+            .with_retry(RetryPolicy::new(4))
+            .with_brown_out(BrownOutConfig::new(1.0, 12))
+            .with_telemetry();
+        let mut source = PoissonSource::new(2_000.0, horizon_ms, mix.clone(), seed);
+        let report = simulate(&cfg, &mut source, &mut cost).expect("valid config");
+        let timeline = report.timeline.expect("with_telemetry attaches a timeline");
+        match std::fs::write(&path, timeline.to_chrome_trace()) {
+            Ok(()) => println!(
+                "\nwrote chip-utilization timeline to {path} — open it in Perfetto \
+                 (ui.perfetto.dev); the 1000-2500 ms hole in chip 0's track is the outage"
+            ),
+            Err(e) => eprintln!("\nFAILED to write {path}: {e}"),
+        }
     }
 }

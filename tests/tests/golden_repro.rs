@@ -1,6 +1,6 @@
 //! Golden determinism regression for the fleet-facing repro
-//! experiments: `repro fleet`, `repro autoscale` and `repro faults`
-//! must be pure functions of their fixed seeds. Two same-process runs are compared
+//! experiments: `repro fleet`, `repro autoscale`, `repro faults` and
+//! `repro obs` must be pure functions of their fixed seeds. Two same-process runs are compared
 //! byte for byte, and a small checked-in summary
 //! (`tests/golden/repro_summary.txt`) pins the exact output across
 //! commits so CI catches determinism drift — a changed RNG draw order,
@@ -16,7 +16,7 @@
 
 use zkphire_bench::experiments;
 
-const EXPERIMENTS: [&str; 3] = ["fleet", "autoscale", "faults"];
+const EXPERIMENTS: [&str; 4] = ["fleet", "autoscale", "faults", "obs"];
 
 /// FNV-1a over the experiment's full text output.
 fn fnv1a(s: &str) -> u64 {

@@ -1,0 +1,152 @@
+//! Telemetry determinism and well-formedness suite.
+//!
+//! Three guarantees pinned here, matching docs/OBSERVABILITY.md:
+//!
+//! 1. The fleet's sim-time timeline is a pure function of the seed:
+//!    its JSONL and Chrome exports are byte-identical no matter how
+//!    many host threads are running the simulation (or anything else)
+//!    concurrently. Wall-clock scheduling must never leak in.
+//! 2. The prover's wall-clock span forest is well-formed: every span
+//!    nests inside its parent, `prove` is the single root, and the
+//!    depth-1 phases partition it.
+//! 3. With recording compiled in but switched off at runtime, the
+//!    hooks observe nothing — a drained profile is empty. (The
+//!    compile-out guarantee — lib builds without the `record` feature
+//!    carry zero telemetry symbols — is checked by the CI build-matrix
+//!    step, not a runtime test.)
+
+use std::sync::MutexGuard;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkphire_core::costdb::CostModel;
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{
+    simulate, BrownOutConfig, ChipOutage, FaultConfig, FleetConfig, PoissonSource, RequestClass,
+    RetryPolicy, WorkloadMix,
+};
+use zkphire_hyperplonk::{prove_with_config, setup, Circuit, GateSystem, ProverConfig};
+use zkphire_telemetry as tele;
+use zkphire_transcript::Transcript;
+
+/// The wall-clock profiler is process-global; tests in this binary run
+/// on multiple threads, so profiler sessions are serialized.
+fn tele_guard() -> MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A small telemetered fault scenario: 3 chips, one outage, 2 s
+/// horizon. Deliberately smaller than `repro obs` — this test runs the
+/// scenario several times concurrently under the dev profile.
+fn traced_fleet_exports(seed: u64) -> (String, String) {
+    let mut cost = CostModel::exemplar();
+    let per = cost.proof_ms(Gate::Jellyfish, 18);
+    let rate = 0.8 * 3.0 * 1000.0 / per;
+    let workload = WorkloadMix::single(RequestClass::new(Gate::Jellyfish, 18));
+    let cfg = FleetConfig::new(3)
+        .with_faults(FaultConfig::scripted(vec![ChipOutage::new(
+            1, 500.0, 600.0,
+        )]))
+        .with_retry(RetryPolicy::new(3))
+        .with_brown_out(BrownOutConfig::new(1.0, 6))
+        .with_telemetry();
+    let mut source = PoissonSource::new(rate, 2_000.0, workload, seed);
+    let report = simulate(&cfg, &mut source, &mut cost).expect("valid config");
+    let timeline = report.timeline.expect("with_telemetry attaches a timeline");
+    (timeline.to_jsonl(), timeline.to_chrome_trace())
+}
+
+/// Same seed => byte-identical sim-time trace, no matter the host
+/// thread count. The baseline run happens on the test thread; the
+/// rivals run on freshly spawned threads, all at once, while the test
+/// thread runs the scenario a second time — maximal wall-clock
+/// interleaving, zero effect on simulated time.
+#[test]
+fn fleet_trace_is_byte_identical_under_concurrency() {
+    const SEED: u64 = 0x7e1e;
+    let (base_jsonl, base_chrome) = traced_fleet_exports(SEED);
+
+    let rivals: Vec<_> = (0..3)
+        .map(|_| std::thread::spawn(move || traced_fleet_exports(SEED)))
+        .collect();
+    let (again_jsonl, again_chrome) = traced_fleet_exports(SEED);
+    assert_eq!(base_jsonl, again_jsonl, "same-thread rerun diverged");
+    assert_eq!(base_chrome, again_chrome);
+
+    for rival in rivals {
+        let (jsonl, chrome) = rival.join().expect("rival run must not panic");
+        assert_eq!(base_jsonl, jsonl, "spawned-thread run diverged");
+        assert_eq!(base_chrome, chrome);
+    }
+
+    // Different seed must actually change the trace — guards against
+    // the exports ignoring their input.
+    let (other_jsonl, _) = traced_fleet_exports(SEED + 1);
+    assert_ne!(base_jsonl, other_jsonl, "seed does not reach the trace");
+}
+
+/// The prover's span forest nests correctly and `prove` is its only
+/// root; the depth-1 phases cover the root to within 1%.
+#[test]
+fn prover_span_forest_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x0b5eed);
+    let (circuit, witness) = Circuit::random(GateSystem::Jellyfish, 8, 0.5, &mut rng);
+    let (pk, _vk) = setup(circuit, &mut rng);
+
+    let guard = tele_guard();
+    tele::reset();
+    tele::set_enabled(true);
+    let _proof = prove_with_config(
+        &pk,
+        &witness,
+        &mut Transcript::new(b"tests/telemetry"),
+        ProverConfig { threads: 1 },
+    );
+    tele::set_enabled(false);
+    let profile = tele::drain();
+    drop(guard);
+
+    profile
+        .check_well_formed()
+        .expect("span forest well-formed");
+    assert_eq!(
+        profile.span_count("prove"),
+        1,
+        "prove must be the single root"
+    );
+
+    let phases = profile.names_at_depth(1);
+    assert!(!phases.is_empty(), "prove must expose depth-1 phases");
+    let phase_ns: u64 = phases.iter().map(|n| profile.total_ns(n)).sum();
+    let root_ns = profile.total_ns("prove");
+    assert!(
+        (phase_ns as f64 - root_ns as f64).abs() <= 0.01 * root_ns as f64,
+        "depth-1 phases ({phase_ns} ns) must cover the prove span ({root_ns} ns) within 1%"
+    );
+}
+
+/// Runtime kill switch: hooks compiled in, recording off => a drained
+/// profile is empty, and the hooks cost no bookkeeping.
+#[test]
+fn runtime_disabled_records_nothing() {
+    let guard = tele_guard();
+    tele::reset();
+    tele::set_enabled(false);
+    {
+        let _outer = tele::span("dead/outer");
+        let _inner = tele::span("dead/inner");
+        tele::counter_add("dead/counter", 41);
+        tele::hist_record("dead/hist", 7);
+    }
+    let profile = tele::drain();
+    drop(guard);
+
+    assert!(profile.spans.is_empty(), "disabled spans must not record");
+    assert_eq!(profile.counter("dead/counter"), 0);
+    assert_eq!(profile.span_count("dead/outer"), 0);
+    assert!(
+        profile.names_at_depth(0).is_empty(),
+        "no roots may exist after a disabled session"
+    );
+}
