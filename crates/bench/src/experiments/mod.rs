@@ -6,6 +6,7 @@ mod faults_exps;
 mod fleet_exps;
 mod obs_exps;
 mod perf_exps;
+mod serve_exps;
 mod sumcheck_exps;
 mod system_exps;
 mod workload_exps;
@@ -16,12 +17,13 @@ pub use faults_exps::faults;
 pub use fleet_exps::fleet;
 pub use obs_exps::{obs, obs_with_args};
 pub use perf_exps::{perf, perf_with_args};
+pub use serve_exps::{serve, serve_with_args};
 pub use sumcheck_exps::{fig6, fig7, fig8, fig9, fig9_design, table1, table2, table3};
 pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "table1",
     "fig6",
     "fig7",
@@ -45,6 +47,7 @@ pub const ALL: [&str; 23] = [
     "faults",
     "perf",
     "obs",
+    "serve",
 ];
 
 /// Runs one experiment by name.
@@ -54,7 +57,7 @@ pub fn run(name: &str) -> Option<String> {
 
 /// Runs one experiment by name with extra command-line flags (`perf`
 /// consumes `--smoke` and `--out <path>`; `obs` consumes
-/// `--out-dir <dir>`).
+/// `--out-dir <dir>`; `serve` consumes `--smoke` and `--out <path>`).
 pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
     Some(match name {
         "table1" => table1(),
@@ -80,6 +83,7 @@ pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
         "autoscale" => autoscale(),
         "faults" => faults(),
         "perf" => perf_with_args(args),
+        "serve" => serve_with_args(args),
         "obs" => obs_with_args(args),
         _ => return None,
     })

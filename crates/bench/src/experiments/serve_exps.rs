@@ -1,0 +1,343 @@
+//! The `serve` experiment: validate the fleet DES against the live
+//! proving service on one trace.
+//!
+//! The discrete-event simulator claims to predict fleet behavior from
+//! per-class proof latency alone. This experiment tests that claim
+//! end-to-end on the machine it runs on:
+//!
+//! 1. start a [`zkphire_serve::ProvingService`] over the scenario's
+//!    request classes — startup calibration measures each class's real
+//!    single-proof latency;
+//! 2. pin those measurements into a
+//!    [`zkphire_core::costdb::CostModel`] via `pin_proof_ms`, so the
+//!    DES prices work in this machine's milliseconds instead of the
+//!    accelerator's;
+//! 3. generate one multi-tenant Poisson trace at a fixed utilization
+//!    target and run it through **both** sides: `simulate` (sim time)
+//!    and [`zkphire_serve::replay`] (wall time), with identical policy,
+//!    pool size, batch cap, and deadline knobs;
+//! 4. report per-tenant p50/p95/p99 side by side and write
+//!    `BENCH_serve.json`.
+//!
+//! Outcome conservation (every traced arrival completes on both sides)
+//! is a hard assertion — a run that drops work is a bug, not a data
+//! point. The latency *ratios* are informational: sim time is an M/G/k
+//! idealization (zero dispatch overhead, perfectly parallel workers),
+//! so wall quantiles run a modest factor above it; what should hold is
+//! the *shape* — tenants ordered the same, tails inflating together.
+//! `--smoke` shrinks the trace so CI can gate the harness and the JSON
+//! schema in seconds.
+
+use std::fmt::Write as _;
+
+use zkphire_core::costdb::CostModel;
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{
+    simulate, FleetConfig, PolicyKind, RequestClass, SplitMix64, TenantSummary, TraceSource,
+};
+use zkphire_serve::{replay, ProvingService, ServeConfig, ServeOpts};
+
+use crate::fmt_table;
+
+/// Scenario constants: two equal-weight tenants, weighted-fair
+/// batching, arrivals at ~70% of the pool's calibrated capacity.
+const TENANT_WEIGHTS: [(u32, f64); 2] = [(0, 1.0), (1, 1.0)];
+const TARGET_UTILIZATION: f64 = 0.7;
+const SEED: u64 = 0x5e27e;
+
+/// Per-tenant quantiles from one side of the comparison.
+struct Side {
+    completed: u64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+fn side(t: &TenantSummary) -> Side {
+    Side {
+        completed: t.completed,
+        p50: t.p50_latency_ms,
+        p95: t.p95_latency_ms,
+        p99: t.p99_latency_ms,
+    }
+}
+
+/// `repro serve` with default flags.
+pub fn serve() -> String {
+    serve_with_args(&[])
+}
+
+/// `repro serve [--smoke] [--out <path>]`.
+pub fn serve_with_args(args: &[String]) -> String {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_serve.json", String::as_str);
+
+    let classes: Vec<RequestClass> = if smoke {
+        vec![RequestClass::new(Gate::Vanilla, 4)]
+    } else {
+        vec![
+            RequestClass::new(Gate::Vanilla, 6),
+            RequestClass::new(Gate::Jellyfish, 6),
+        ]
+    };
+    let n_requests: usize = if smoke { 24 } else { 240 };
+    // Workers track available_parallelism (via the ServeOpts default)
+    // on both paths: the DES models truly parallel chips, so deploying
+    // more workers than cores would make the live side look uniformly
+    // worse than the prediction for reasons that are about the host,
+    // not the service.
+    let opts = if smoke {
+        ServeOpts::default()
+            .with_prover_threads(1)
+            .with_max_batch(4)
+    } else {
+        ServeOpts::from_env()
+    };
+    let workers = opts.workers;
+    let max_batch = opts.max_batch;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: live service vs DES on one trace \
+         (workers={workers} prover_threads={} max_batch={max_batch} smoke={smoke})\n",
+        opts.prover_threads
+    );
+
+    // 1. Start the live service; its startup calibration measures each
+    // class's real single-proof latency on this machine.
+    let serve_cfg = ServeConfig::new(classes.clone())
+        .with_policy(PolicyKind::WeightedFair)
+        .with_tenant_weights(TENANT_WEIGHTS.to_vec())
+        .with_seed(SEED)
+        .with_opts(opts);
+    let service = match ProvingService::start(serve_cfg) {
+        Ok(s) => s,
+        Err(e) => return format!("serve: service failed to start: {e}\n"),
+    };
+    let calibration = service.calibration();
+    let mean_ms: f64 = calibration.iter().map(|(_, ms)| ms).sum::<f64>() / calibration.len() as f64;
+
+    // 2. Pin the measurements into the cost model: the DES now prices a
+    // proof at what this machine's prover just clocked.
+    let mut cost = CostModel::exemplar();
+    for &(class, ms) in &calibration {
+        cost.pin_proof_ms(class.gate, class.mu, ms);
+    }
+
+    // 3. One shared trace: Poisson arrivals at TARGET_UTILIZATION of
+    // the pool's calibrated capacity, classes and tenants drawn
+    // uniformly from a seeded stream.
+    let mean_gap_ms = mean_ms / (workers as f64 * TARGET_UTILIZATION);
+    let mut rng = SplitMix64::new(SEED);
+    let mut t = 0.0;
+    let mut trace = Vec::with_capacity(n_requests);
+    for _ in 0..n_requests {
+        t += -mean_gap_ms * (1.0 - rng.next_f64()).ln();
+        let class = classes[(rng.next_u64() % classes.len() as u64) as usize];
+        let tenant = (rng.next_u64() % TENANT_WEIGHTS.len() as u64) as u32;
+        trace.push((t, class, tenant));
+    }
+    let horizon_ms = t + 1.0;
+
+    // DES side, in sim time.
+    let fleet_cfg = FleetConfig::new(workers)
+        .with_policy(PolicyKind::WeightedFair)
+        .with_max_batch(max_batch)
+        .with_tenant_weights(TENANT_WEIGHTS.to_vec());
+    let mut fleet_cfg = fleet_cfg;
+    fleet_cfg.batch_overhead_ms = 0.0; // the live pool has no program swap
+    let sim_report = match simulate(
+        &fleet_cfg,
+        &mut TraceSource::with_tenants(trace.clone()),
+        &mut cost,
+    ) {
+        Ok(r) => r,
+        Err(e) => return format!("serve: DES side failed: {e}\n"),
+    };
+
+    // Live side, in wall time, same trace.
+    let gen = match replay(
+        &service,
+        &mut TraceSource::with_tenants(trace),
+        horizon_ms,
+        1.0,
+    ) {
+        Ok(g) => g,
+        Err(e) => return format!("serve: replay failed: {e}\n"),
+    };
+    let wall_report = match service.shutdown() {
+        Ok(r) => r,
+        Err(e) => return format!("serve: shutdown failed: {e}\n"),
+    };
+
+    // 4. Conservation is a hard gate: with no caps configured, every
+    // traced arrival must complete on both sides.
+    assert_eq!(
+        gen.submitted, n_requests as u64,
+        "loadgen replayed the trace"
+    );
+    assert_eq!(gen.rejected, 0, "no admission caps in this scenario");
+    assert_eq!(
+        sim_report.summary.completed, n_requests as u64,
+        "DES completes the whole trace"
+    );
+    assert_eq!(
+        wall_report.summary.completed, n_requests as u64,
+        "live service completes the whole trace"
+    );
+
+    let _ = writeln!(out, "calibration (real prover, single proof):");
+    for &(class, ms) in &calibration {
+        let modeled = CostModel::exemplar().proof_ms(class.gate, class.mu);
+        let _ = writeln!(
+            out,
+            "  class {class}: measured {ms:.3} ms (accelerator model: {modeled:.3} ms)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "trace: {n_requests} requests over {horizon_ms:.0} ms (target utilization {TARGET_UTILIZATION})\n"
+    );
+
+    let mut rows = Vec::new();
+    for sim_t in &sim_report.summary.per_tenant {
+        let Some(wall_t) = wall_report
+            .summary
+            .per_tenant
+            .iter()
+            .find(|w| w.tenant == sim_t.tenant)
+        else {
+            continue;
+        };
+        let (s, w) = (side(sim_t), side(wall_t));
+        rows.push(vec![
+            sim_t.tenant.to_string(),
+            s.completed.to_string(),
+            format!("{:.2}", s.p50),
+            format!("{:.2}", w.p50),
+            format!("{:.2}", s.p95),
+            format!("{:.2}", w.p95),
+            format!("{:.2}", s.p99),
+            format!("{:.2}", w.p99),
+            format!("{:.2}x", w.p99 / s.p99.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    out.push_str(&fmt_table(
+        "per-tenant latency, DES prediction vs live service (ms)",
+        &[
+            "tenant",
+            "completed",
+            "sim p50",
+            "wall p50",
+            "sim p95",
+            "wall p95",
+            "sim p99",
+            "wall p99",
+            "p99 ratio",
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "\noverall: sim p99 {:.2} ms, wall p99 {:.2} ms; sim makespan {:.0} ms, wall makespan {:.0} ms",
+        sim_report.summary.p99_latency_ms,
+        wall_report.summary.p99_latency_ms,
+        sim_report.summary.makespan_ms,
+        wall_report.summary.makespan_ms,
+    );
+
+    match std::fs::write(
+        out_path,
+        render_json(
+            smoke,
+            workers,
+            &calibration,
+            &sim_report.summary.per_tenant,
+            &wall_report.summary.per_tenant,
+        ),
+    ) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {out_path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "FAILED to write {out_path}: {e}");
+        }
+    }
+    out
+}
+
+fn render_json(
+    smoke: bool,
+    workers: usize,
+    calibration: &[(RequestClass, f64)],
+    sim: &[TenantSummary],
+    wall: &[TenantSummary],
+) -> String {
+    fn tenants_json(s: &mut String, key: &str, tenants: &[TenantSummary]) {
+        let _ = writeln!(s, "  \"{key}\": [");
+        for (i, t) in tenants.iter().enumerate() {
+            let comma = if i + 1 == tenants.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"tenant\": {}, \"completed\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}",
+                t.tenant, t.completed, t.p50_latency_ms, t.p95_latency_ms, t.p99_latency_ms
+            );
+        }
+        let _ = writeln!(s, "  ],");
+    }
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"zkphire-bench-serve/v1\",\n");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    s.push_str("  \"calibration\": [\n");
+    for (i, (class, ms)) in calibration.iter().enumerate() {
+        let comma = if i + 1 == calibration.len() { "" } else { "," };
+        let gate = match class.gate {
+            Gate::Vanilla => "vanilla",
+            Gate::Jellyfish => "jellyfish",
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"gate\": \"{gate}\", \"mu\": {}, \"measured_ms\": {ms:.4}}}{comma}",
+            class.mu
+        );
+    }
+    s.push_str("  ],\n");
+    tenants_json(&mut s, "sim", sim);
+    tenants_json(&mut s, "wall", wall);
+    s.push_str("  \"unit\": \"ms\"\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_agrees_on_counts_and_writes_json() {
+        let dir = std::env::temp_dir().join("zkphire_serve_exp_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("BENCH_serve.json");
+        let report = serve_with_args(&[
+            "--smoke".to_string(),
+            "--out".to_string(),
+            out.display().to_string(),
+        ]);
+        assert!(
+            report.contains("per-tenant latency"),
+            "table rendered:\n{report}"
+        );
+        assert!(report.contains("wrote "), "json written:\n{report}");
+        let json = std::fs::read_to_string(&out).expect("json exists");
+        assert!(json.contains("\"schema\": \"zkphire-bench-serve/v1\""));
+        assert!(json.contains("\"sim\""));
+        assert!(json.contains("\"wall\""));
+    }
+}

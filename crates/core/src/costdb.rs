@@ -68,6 +68,30 @@ impl CostModel {
         self.report(gate, mu).total_ms
     }
 
+    /// Pins the end-to-end latency of one `(gate, mu)` class to a
+    /// measured value, overriding the analytical schedule's total.
+    ///
+    /// This is how a wall-clock measurement (e.g. `zkphire-serve`'s
+    /// startup calibration of the software prover) is injected into the
+    /// fleet simulator: pin each served class to its measured
+    /// milliseconds and the DES predicts *this machine's* latency
+    /// distribution instead of the accelerator's. Only `total_ms` is
+    /// replaced; the per-step breakdown in [`CostModel::report`] keeps
+    /// the analytical numbers and no longer sums to the pinned total.
+    ///
+    /// # Panics
+    ///
+    /// If `total_ms` is not finite and non-negative.
+    pub fn pin_proof_ms(&mut self, gate: Gate, mu: usize, total_ms: f64) {
+        assert!(
+            total_ms.is_finite() && total_ms >= 0.0,
+            "pinned latency must be finite and non-negative, got {total_ms}"
+        );
+        let mut r = self.report(gate, mu);
+        r.total_ms = total_ms;
+        self.cache.insert((gate, mu), r);
+    }
+
     /// Fills the cache for every `(gate, mu)` pair up front so a
     /// simulation's hot loop never pays a model evaluation.
     pub fn prewarm<I: IntoIterator<Item = (Gate, usize)>>(&mut self, classes: I) {
@@ -105,6 +129,23 @@ mod tests {
         db.proof_ms(Gate::Vanilla, 18);
         db.proof_ms(Gate::Jellyfish, 18);
         assert_eq!(db.stats(), (2, 2));
+    }
+
+    #[test]
+    fn pinned_latency_overrides_the_analytical_total() {
+        let mut db = CostModel::exemplar();
+        let analytical = db.proof_ms(Gate::Vanilla, 18);
+        db.pin_proof_ms(Gate::Vanilla, 18, 123.25);
+        assert_eq!(db.proof_ms(Gate::Vanilla, 18), 123.25);
+        // Other classes keep the analytical schedule.
+        assert_ne!(db.proof_ms(Gate::Jellyfish, 18), 123.25);
+        assert_ne!(analytical, 123.25, "pin chose a non-model value");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn pinning_nan_is_refused() {
+        CostModel::exemplar().pin_proof_ms(Gate::Vanilla, 10, f64::NAN);
     }
 
     #[test]

@@ -6,7 +6,13 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Simulation timestamps are `f64` milliseconds; the engine rejects NaN.
+use crate::error::SimError;
+
+/// Simulation timestamps are `f64` milliseconds. Non-finite times are
+/// rejected at event construction ([`EventQueue::try_push`]), so the
+/// ordering below never sees a NaN in a well-formed run; `total_cmp`
+/// keeps it a total order even for one that slipped past construction,
+/// so the heap can never panic mid-run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimTime(pub f64);
 
@@ -20,7 +26,7 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN simulation time")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -123,15 +129,24 @@ impl EventQueue {
         self.now
     }
 
-    /// Schedules `event` at absolute time `time` (must be ≥ now and
-    /// finite).
-    pub fn push(&mut self, time: f64, event: Event) {
-        assert!(time.is_finite(), "non-finite event time");
-        assert!(
-            time >= self.now,
-            "event scheduled in the past: {time} < {}",
-            self.now
-        );
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidTime`] for a NaN or infinite `time` — a
+    /// single NaN arrival must surface as a typed error at the
+    /// boundary, not poison the heap ordering mid-run — and
+    /// [`SimError::EventInPast`] for a `time` before the clock.
+    pub fn try_push(&mut self, time: f64, event: Event) -> Result<(), SimError> {
+        if !time.is_finite() {
+            return Err(SimError::InvalidTime { time_ms: time });
+        }
+        if time < self.now {
+            return Err(SimError::EventInPast {
+                time_ms: time,
+                now_ms: self.now,
+            });
+        }
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled {
@@ -139,6 +154,19 @@ impl EventQueue {
             seq,
             event,
         });
+        Ok(())
+    }
+
+    /// [`EventQueue::try_push`] for contexts that cannot recover.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed [`SimError`] message on a non-finite or
+    /// past `time` — the engine itself uses `try_push` and propagates.
+    pub fn push(&mut self, time: f64, event: Event) {
+        if let Err(e) = self.try_push(time, event) {
+            panic!("{e}");
+        }
     }
 
     /// Pops the earliest event, advancing the clock to it. Ties on time
@@ -210,8 +238,40 @@ mod tests {
     }
 
     #[test]
+    fn rejects_past_events_as_typed_error() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::Arrival(0));
+        q.pop();
+        assert_eq!(
+            q.try_push(1.0, Event::Arrival(1)),
+            Err(SimError::EventInPast {
+                time_ms: 1.0,
+                now_ms: 2.0
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_times_as_typed_error() {
+        // A NaN or infinite timestamp must be a typed Err at the
+        // boundary, never a panic from inside the heap's comparator.
+        let mut q = EventQueue::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = q.try_push(bad, Event::Arrival(0)).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidTime { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // The queue is unharmed and keeps working.
+        assert!(q.is_empty());
+        q.push(1.0, Event::Arrival(7));
+        assert_eq!(q.pop(), Some((1.0, Event::Arrival(7))));
+    }
+
+    #[test]
     #[should_panic(expected = "past")]
-    fn rejects_past_events() {
+    fn panicking_wrapper_keeps_legacy_contract() {
         let mut q = EventQueue::new();
         q.push(2.0, Event::Arrival(0));
         q.pop();

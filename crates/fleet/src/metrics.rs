@@ -20,6 +20,13 @@ pub enum MetricsError {
     EmptySample,
     /// `q` outside `(0, 1]`.
     InvalidQuantile(f64),
+    /// A completion record carries a NaN latency — its finish or
+    /// arrival timestamp was NaN, so no quantile of the run is
+    /// meaningful.
+    NanLatency {
+        /// Id of the offending request record.
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for MetricsError {
@@ -31,6 +38,9 @@ impl std::fmt::Display for MetricsError {
             MetricsError::EmptySample => write!(f, "quantile of empty sample"),
             MetricsError::InvalidQuantile(q) => {
                 write!(f, "quantile {q} outside (0, 1]")
+            }
+            MetricsError::NanLatency { id } => {
+                write!(f, "NaN latency on request record {id}")
             }
         }
     }
@@ -274,15 +284,36 @@ fn latency_stats(sorted: &[f64]) -> (f64, f64, f64, f64) {
 /// Reduces completion records and accumulators to a [`FleetSummary`].
 /// `tenant_weights` feeds the fairness index and the per-tenant
 /// summaries; tenants absent from it weigh 1.
+///
+/// # Panics
+///
+/// Panics with the typed [`MetricsError`] message when a record carries
+/// a NaN latency — use [`try_summarize`] to handle that as a value (the
+/// fleet engine does).
 pub fn summarize(
     records: &[RequestRecord],
     acc: &RunAccumulators,
     tenant_weights: &[(TenantId, f64)],
 ) -> FleetSummary {
+    try_summarize(records, acc, tenant_weights).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// NaN-rejecting [`summarize`]: validates every record's latency up
+/// front and returns a typed [`MetricsError::NanLatency`] naming the
+/// offending request instead of panicking inside a sort comparator.
+pub fn try_summarize(
+    records: &[RequestRecord],
+    acc: &RunAccumulators,
+    tenant_weights: &[(TenantId, f64)],
+) -> Result<FleetSummary, MetricsError> {
+    if let Some(bad) = records.iter().find(|r| r.latency_ms().is_nan()) {
+        return Err(MetricsError::NanLatency { id: bad.id });
+    }
     let completed = records.len() as u64;
     let makespan = acc.makespan_ms;
     let mut latencies: Vec<f64> = records.iter().map(RequestRecord::latency_ms).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+    // NaN rejected above, so total_cmp agrees with the numeric order.
+    latencies.sort_by(f64::total_cmp);
     let (mean, p50, p95, p99) = latency_stats(&latencies);
     let max = latencies.last().copied().unwrap_or(0.0);
 
@@ -310,7 +341,7 @@ pub fn summarize(
         .iter()
         .map(|(&tenant, recs)| {
             let mut lats: Vec<f64> = recs.iter().map(|r| r.latency_ms()).collect();
-            lats.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+            lats.sort_by(f64::total_cmp);
             let (t_mean, t_p50, t_p95, t_p99) = latency_stats(&lats);
             let misses = recs.iter().filter(|r| !r.met_deadline()).count() as u64;
             let rejected = acc.rejected_by_tenant.get(&tenant).copied().unwrap_or(0);
@@ -361,7 +392,7 @@ pub fn summarize(
     };
     let misses = records.iter().filter(|r| !r.met_deadline()).count();
     let in_deadline = completed - misses as u64;
-    FleetSummary {
+    Ok(FleetSummary {
         arrivals: acc.arrivals,
         completed,
         rejected: acc.rejected,
@@ -415,7 +446,7 @@ pub fn summarize(
         scale_downs: acc.scale_downs,
         per_tenant,
         jain_fairness,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -476,6 +507,92 @@ mod tests {
     #[should_panic(expected = "NaN sample at index 0")]
     fn quantile_panics_with_typed_message_on_nan() {
         quantile(&[f64::NAN], 0.5);
+    }
+
+    #[test]
+    fn nan_latency_record_rejected_with_typed_error() {
+        use zkphire_core::protocol::Gate;
+        let rec = |id: u64, finish_ms: f64| RequestRecord {
+            id,
+            tenant: 3,
+            class: crate::request::RequestClass::new(Gate::Jellyfish, 10),
+            arrival_ms: 0.0,
+            deadline_ms: 100.0,
+            start_ms: 1.0,
+            finish_ms,
+            chip: 0,
+            batch_size: 1,
+            attempts: 0,
+        };
+        let acc = RunAccumulators {
+            busy_ms: vec![0.0],
+            depth_time_integral: 0.0,
+            max_queue_depth: 0,
+            batches: 1,
+            arrivals: 2,
+            rejected: 0,
+            rejected_by_tenant: BTreeMap::new(),
+            shed: 0,
+            shed_by_tenant: BTreeMap::new(),
+            lost: 0,
+            lost_by_tenant: BTreeMap::new(),
+            retries: 0,
+            chip_failures: 0,
+            chip_repairs: 0,
+            makespan_ms: 10.0,
+            chip_time_integral_ms: 10.0,
+            peak_chips: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+        };
+        // A NaN finish time must surface as a typed error naming the
+        // record, not a panic from inside a sort comparator.
+        let err = try_summarize(&[rec(0, 5.0), rec(7, f64::NAN)], &acc, &[]).unwrap_err();
+        assert_eq!(err, MetricsError::NanLatency { id: 7 });
+        // Clean records summarize fine through the same path.
+        let ok = try_summarize(&[rec(0, 5.0)], &acc, &[]).expect("clean records");
+        assert_eq!(ok.completed, 1);
+        assert_eq!(ok.p99_latency_ms, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN latency on request record 9")]
+    fn summarize_panics_with_typed_message_on_nan() {
+        use zkphire_core::protocol::Gate;
+        let rec = RequestRecord {
+            id: 9,
+            tenant: 0,
+            class: crate::request::RequestClass::new(Gate::Vanilla, 8),
+            arrival_ms: f64::NAN,
+            deadline_ms: 1.0,
+            start_ms: 0.0,
+            finish_ms: 1.0,
+            chip: 0,
+            batch_size: 1,
+            attempts: 0,
+        };
+        let acc = RunAccumulators {
+            busy_ms: vec![0.0],
+            depth_time_integral: 0.0,
+            max_queue_depth: 0,
+            batches: 0,
+            arrivals: 1,
+            rejected: 0,
+            rejected_by_tenant: BTreeMap::new(),
+            shed: 0,
+            shed_by_tenant: BTreeMap::new(),
+            lost: 0,
+            lost_by_tenant: BTreeMap::new(),
+            retries: 0,
+            chip_failures: 0,
+            chip_repairs: 0,
+            makespan_ms: 1.0,
+            chip_time_integral_ms: 1.0,
+            peak_chips: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+        };
+        summarize(&[rec], &acc, &[]);
     }
 
     #[test]

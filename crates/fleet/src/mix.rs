@@ -84,7 +84,7 @@ impl WorkloadMix {
         assert!(!entries.is_empty(), "no workloads under the mu cap");
         entries.sort_by_key(|(c, _)| *c);
         entries.dedup_by_key(|(c, _)| *c);
-        let mu_min = entries.iter().map(|(c, _)| c.mu).min().expect("non-empty");
+        let mu_min = entries.iter().map(|(c, _)| c.mu).min().unwrap_or_default();
         for (class, weight) in &mut entries {
             *weight = 1.0 / (1u64 << (class.mu - mu_min).min(60)) as f64;
         }

@@ -39,14 +39,16 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy with all tenants weighted equally.
-    pub fn build(self) -> Box<dyn BatchPolicy> {
+    /// Instantiates the policy with all tenants weighted equally. The
+    /// box is `Send` so the same policies that batch the DES also batch
+    /// the live `zkphire-serve` dispatcher across real threads.
+    pub fn build(self) -> Box<dyn BatchPolicy + Send> {
         self.build_with(&[])
     }
 
     /// Instantiates the policy with explicit per-tenant service
     /// weights (only [`PolicyKind::WeightedFair`] consults them).
-    pub fn build_with(self, tenant_weights: &[(TenantId, f64)]) -> Box<dyn BatchPolicy> {
+    pub fn build_with(self, tenant_weights: &[(TenantId, f64)]) -> Box<dyn BatchPolicy + Send> {
         match self {
             PolicyKind::Fifo => Box::new(FifoPolicy::default()),
             PolicyKind::SizeClass => Box::new(SizeClassPolicy::default()),
@@ -95,8 +97,7 @@ where
     iter.enumerate()
         .max_by(|(_, a), (_, b)| {
             a.deadline_ms
-                .partial_cmp(&b.deadline_ms)
-                .expect("NaN deadline")
+                .total_cmp(&b.deadline_ms)
                 .then(a.id.cmp(&b.id))
         })
         .map(|(i, _)| i)
@@ -117,13 +118,11 @@ impl BatchPolicy for FifoPolicy {
         let head = self.queue.pop_front()?;
         let class = head.class;
         let mut batch = vec![head];
-        while batch.len() < max_batch {
-            match self.queue.front() {
-                Some(next) if next.class == class => {
-                    batch.push(self.queue.pop_front().expect("front checked"));
-                }
-                _ => break,
-            }
+        while batch.len() < max_batch && self.queue.front().is_some_and(|n| n.class == class) {
+            let Some(next) = self.queue.pop_front() else {
+                break;
+            };
+            batch.push(next);
         }
         Some(batch)
     }
@@ -138,7 +137,10 @@ impl BatchPolicy for FifoPolicy {
             let Some(idx) = latest_deadline_idx(self.queue.iter()) else {
                 break;
             };
-            shed.push(self.queue.remove(idx).expect("index from iterator"));
+            let Some(victim) = self.queue.remove(idx) else {
+                break;
+            };
+            shed.push(victim);
         }
         shed
     }
@@ -164,13 +166,9 @@ impl BatchPolicy for SizeClassPolicy {
             .lanes
             .iter()
             .filter_map(|(class, lane)| lane.front().map(|h| (h.arrival_ms, h.id, *class)))
-            .min_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("NaN arrival")
-                    .then(a.1.cmp(&b.1))
-            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(_, _, class)| class)?;
-        let lane = self.lanes.get_mut(&best_class).expect("lane exists");
+        let lane = self.lanes.get_mut(&best_class)?;
         let take = lane.len().min(max_batch.max(1));
         let batch: Vec<Request> = lane.drain(..take).collect();
         if lane.is_empty() {
@@ -196,14 +194,18 @@ impl BatchPolicy for SizeClassPolicy {
                 })
                 .max_by(|(_, _, a), (_, _, b)| {
                     a.deadline_ms
-                        .partial_cmp(&b.deadline_ms)
-                        .expect("NaN deadline")
+                        .total_cmp(&b.deadline_ms)
                         .then(a.id.cmp(&b.id))
                 })
                 .map(|(class, i, _)| (class, i));
             let Some((class, idx)) = victim else { break };
-            let lane = self.lanes.get_mut(&class).expect("lane exists");
-            shed.push(lane.remove(idx).expect("index from iterator"));
+            let Some(lane) = self.lanes.get_mut(&class) else {
+                break;
+            };
+            let Some(victim) = lane.remove(idx) else {
+                break;
+            };
+            shed.push(victim);
             if lane.is_empty() {
                 self.lanes.remove(&class);
             }
@@ -227,8 +229,7 @@ impl EdfPolicy {
             .enumerate()
             .min_by(|(_, a), (_, b)| {
                 a.deadline_ms
-                    .partial_cmp(&b.deadline_ms)
-                    .expect("NaN deadline")
+                    .total_cmp(&b.deadline_ms)
                     .then(a.id.cmp(&b.id))
             })
             .map(|(i, _)| i)
@@ -255,8 +256,7 @@ impl BatchPolicy for EdfPolicy {
         companions.sort_by(|&a, &b| {
             self.queue[a]
                 .deadline_ms
-                .partial_cmp(&self.queue[b].deadline_ms)
-                .expect("NaN deadline")
+                .total_cmp(&self.queue[b].deadline_ms)
                 .then(self.queue[a].id.cmp(&self.queue[b].id))
         });
         companions.truncate(max_batch.max(1) - 1);
@@ -269,8 +269,7 @@ impl BatchPolicy for EdfPolicy {
         // Keep the batch itself in deadline order (head first already).
         batch[1..].sort_by(|a, b| {
             a.deadline_ms
-                .partial_cmp(&b.deadline_ms)
-                .expect("NaN deadline")
+                .total_cmp(&b.deadline_ms)
                 .then(a.id.cmp(&b.id))
         });
         Some(batch)
@@ -370,9 +369,13 @@ impl BatchPolicy for WeightedFairPolicy {
         // < 1, so no tenant banks service across rounds.
         let quantum = max_batch.max(1) as f64;
         loop {
-            let tenant = *self.rotation.front().expect("depth > 0, rotation empty");
+            // depth > 0 implies a non-empty rotation with live deficit
+            // and queue entries; a desync here surfaces as `None`, which
+            // the engine reports as a typed invariant failure instead of
+            // panicking mid-dispatch.
+            let tenant = self.rotation.front().copied()?;
             let weight = self.weight(tenant);
-            let deficit = self.deficits.get_mut(&tenant).expect("active tenant");
+            let deficit = self.deficits.get_mut(&tenant)?;
             if !self.front_credited {
                 *deficit += quantum * weight;
                 self.front_credited = true;
@@ -386,18 +389,16 @@ impl BatchPolicy for WeightedFairPolicy {
                 continue;
             }
             let allowance = (*deficit).floor() as usize;
-            let q = self.queues.get_mut(&tenant).expect("active tenant");
-            let head = q.pop_front().expect("active tenant has work");
+            let q = self.queues.get_mut(&tenant)?;
+            let head = q.pop_front()?;
             let class = head.class;
             let cap = max_batch.max(1).min(allowance);
             let mut batch = vec![head];
-            while batch.len() < cap {
-                match q.front() {
-                    Some(next) if next.class == class => {
-                        batch.push(q.pop_front().expect("front checked"));
-                    }
-                    _ => break,
-                }
+            while batch.len() < cap && q.front().is_some_and(|n| n.class == class) {
+                let Some(next) = q.pop_front() else {
+                    break;
+                };
+                batch.push(next);
             }
             *deficit -= batch.len() as f64;
             self.depth -= batch.len();
@@ -428,14 +429,18 @@ impl BatchPolicy for WeightedFairPolicy {
                 .flat_map(|(tenant, q)| latest_deadline_idx(q.iter()).map(|i| (*tenant, i, &q[i])))
                 .max_by(|(_, _, a), (_, _, b)| {
                     a.deadline_ms
-                        .partial_cmp(&b.deadline_ms)
-                        .expect("NaN deadline")
+                        .total_cmp(&b.deadline_ms)
                         .then(a.id.cmp(&b.id))
                 })
                 .map(|(tenant, i, _)| (tenant, i));
             let Some((tenant, idx)) = victim else { break };
-            let q = self.queues.get_mut(&tenant).expect("tenant exists");
-            shed.push(q.remove(idx).expect("index from iterator"));
+            let Some(q) = self.queues.get_mut(&tenant) else {
+                break;
+            };
+            let Some(victim) = q.remove(idx) else {
+                break;
+            };
+            shed.push(victim);
             self.depth -= 1;
             if q.is_empty() {
                 // Drop the drained tenant from the rotation, resetting

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use crate::arrivals::ArrivalSource;
 use crate::events::{Event, EventQueue};
 use crate::fault::{BrownOutConfig, FaultConfig, FaultKind, FaultModel, RetryPolicy};
-use crate::metrics::{summarize, FleetSummary, RunAccumulators};
+use crate::metrics::{try_summarize, FleetSummary, RunAccumulators};
 use crate::policy::{BatchPolicy, PolicyKind};
 use crate::request::{Request, RequestClass, RequestRecord, TenantId};
 use crate::rng::SplitMix64;
@@ -39,55 +39,10 @@ use zkphire_telemetry::{AdmissionOutcome, SimTimeline};
 /// seed so jitter draws never alias the failure-timing stream.
 const RETRY_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// Typed failure modes of [`simulate`]. Configuration mistakes and
-/// internal event-stream corruption surface here instead of panicking,
-/// so a service embedding the simulator (the DSE, a what-if endpoint)
-/// can refuse one bad scenario without dying.
-#[derive(Clone, Debug, PartialEq)]
-pub enum SimError {
-    /// The [`FleetConfig`] is unusable (zero chips, negative overhead,
-    /// a scripted outage naming a chip outside the pool, …).
-    InvalidConfig(String),
-    /// An `Arrival` event popped with no primed request body — the
-    /// arrival pipeline invariant (exactly one in flight) broke.
-    ArrivalWithoutPending {
-        /// The orphaned arrival's id.
-        id: u64,
-        /// Event time (ms).
-        time_ms: f64,
-    },
-    /// A `ScaleTick` popped in a run with no autoscaler configured.
-    TickWithoutAutoscaler {
-        /// Event time (ms).
-        time_ms: f64,
-    },
-    /// A `Retry` event popped for a request not parked in backoff.
-    UnknownRetry {
-        /// The unknown request id.
-        id: u64,
-        /// Event time (ms).
-        time_ms: f64,
-    },
-}
-
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::InvalidConfig(why) => write!(f, "invalid fleet config: {why}"),
-            Self::ArrivalWithoutPending { id, time_ms } => {
-                write!(f, "arrival {id} at {time_ms} ms without pending request")
-            }
-            Self::TickWithoutAutoscaler { time_ms } => {
-                write!(f, "scale tick at {time_ms} ms without autoscaler")
-            }
-            Self::UnknownRetry { id, time_ms } => {
-                write!(f, "retry event at {time_ms} ms for unknown request {id}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
+// SimError grew beyond the simulator (the event queue and metrics
+// report through it too) and lives in `crate::error`; re-exported here
+// so `sim::SimError` paths keep compiling.
+pub use crate::error::SimError;
 
 /// Deployment and policy knobs for one simulation.
 #[derive(Clone, Debug)]
@@ -534,23 +489,20 @@ impl Engine<'_> {
         source: &mut S,
         cost: &mut CostModel,
     ) -> Result<SimReport, SimError> {
-        self.pending = self.prime(source, cost);
+        self.pending = self.prime(source, cost)?;
         if self.pending.is_some() {
             if let Some(a) = &self.cfg.autoscale {
-                self.queue.push(a.interval_ms, Event::ScaleTick);
+                self.queue.try_push(a.interval_ms, Event::ScaleTick)?;
             }
             for chip in 0..self.initial_online {
-                self.arm_failure(chip, 0.0);
+                self.arm_failure(chip, 0.0)?;
             }
-            let outages = self.faults.as_ref().map_or(0, |f| f.outages().len());
-            for i in 0..outages {
-                let at = self
-                    .faults
-                    .as_ref()
-                    .expect("outages imply faults")
-                    .outages()[i]
-                    .at_ms;
-                self.queue.push(at, Event::ScriptedFail(i));
+            let outage_times: Vec<f64> = self
+                .faults
+                .as_ref()
+                .map_or_else(Vec::new, |f| f.outages().iter().map(|o| o.at_ms).collect());
+            for (i, at) in outage_times.into_iter().enumerate() {
+                self.queue.try_push(at, Event::ScriptedFail(i))?;
             }
         }
 
@@ -579,16 +531,16 @@ impl Engine<'_> {
                     true
                 }
                 Event::ChipUp { chip } => {
-                    self.on_chip_up(chip, now);
+                    self.on_chip_up(chip, now)?;
                     true
                 }
                 Event::ChipDown { chip } => {
                     self.on_chip_down(chip, now);
                     true
                 }
-                Event::ChipFail { chip, epoch } => self.on_chip_fail(chip, epoch, now),
-                Event::ChipRepair { chip, epoch } => self.on_chip_repair(chip, epoch, now),
-                Event::ScriptedFail(idx) => self.on_scripted_fail(idx, now),
+                Event::ChipFail { chip, epoch } => self.on_chip_fail(chip, epoch, now)?,
+                Event::ChipRepair { chip, epoch } => self.on_chip_repair(chip, epoch, now)?,
+                Event::ScriptedFail(idx) => self.on_scripted_fail(idx, now)?,
                 Event::Retry(id) => {
                     self.on_retry(id, now, cost)?;
                     true
@@ -601,16 +553,21 @@ impl Engine<'_> {
             if effectful {
                 self.acc.makespan_ms = now;
             }
-            self.shed_if_browned_out(now);
-            self.dispatch(cost);
+            self.shed_if_browned_out(now)?;
+            self.dispatch(cost)?;
             if let Some(tl) = &mut self.timeline {
                 tl.sample_queue_depth(now, self.policy.depth());
                 tl.sample_retry_depth(now, self.parked.len());
             }
         }
 
+        // Drain-time accounting reconciliation. These were asserts; they
+        // now surface as `SimError::Invariant` (messages kept verbatim)
+        // so a service embedding the simulator survives a corrupted run.
         for (i, c) in self.chips.iter().enumerate() {
-            assert!(!c.busy, "chip {i} still busy at drain");
+            if c.busy {
+                return Err(SimError::Invariant(format!("chip {i} still busy at drain")));
+            }
             self.acc.busy_ms[i] = c.busy_ms;
         }
         if let Some(tl) = &mut self.timeline {
@@ -618,36 +575,39 @@ impl Engine<'_> {
             // The timeline must never drift from the metrics it
             // explains: both sides replayed identical f64 op sequences,
             // so require bitwise equality, not closeness.
-            assert_eq!(
-                tl.provisioned_integral_ms().to_bits(),
-                self.acc.chip_time_integral_ms.to_bits(),
-                "timeline provisioned integral drifted from chip-time integral"
-            );
+            if tl.provisioned_integral_ms().to_bits() != self.acc.chip_time_integral_ms.to_bits() {
+                return Err(SimError::Invariant(
+                    "timeline provisioned integral drifted from chip-time integral".into(),
+                ));
+            }
             for (i, &busy) in self.acc.busy_ms.iter().enumerate() {
-                assert_eq!(
-                    tl.busy_ms(i).to_bits(),
-                    busy.to_bits(),
-                    "timeline busy accumulator drifted from chip {i} busy_ms"
-                );
+                if tl.busy_ms(i).to_bits() != busy.to_bits() {
+                    return Err(SimError::Invariant(format!(
+                        "timeline busy accumulator drifted from chip {i} busy_ms"
+                    )));
+                }
             }
         }
-        assert_eq!(
-            self.policy.depth(),
-            0,
-            "requests stranded in queue at drain"
-        );
-        assert!(
-            self.parked.is_empty(),
-            "requests stranded in backoff at drain"
-        );
-        assert_eq!(
-            self.acc.arrivals,
-            self.records.len() as u64 + self.acc.rejected + self.acc.shed + self.acc.lost,
-            "terminal outcomes do not conserve arrivals"
-        );
+        if self.policy.depth() != 0 {
+            return Err(SimError::Invariant(
+                "requests stranded in queue at drain".into(),
+            ));
+        }
+        if !self.parked.is_empty() {
+            return Err(SimError::Invariant(
+                "requests stranded in backoff at drain".into(),
+            ));
+        }
+        if self.acc.arrivals
+            != self.records.len() as u64 + self.acc.rejected + self.acc.shed + self.acc.lost
+        {
+            return Err(SimError::Invariant(
+                "terminal outcomes do not conserve arrivals".into(),
+            ));
+        }
         let trace_hash = hash_trace(&self.trace);
         Ok(SimReport {
-            summary: summarize(&self.records, &self.acc, &self.cfg.tenant_weights),
+            summary: try_summarize(&self.records, &self.acc, &self.cfg.tenant_weights)?,
             records: std::mem::take(&mut self.records),
             trace: std::mem::take(&mut self.trace),
             trace_hash,
@@ -657,23 +617,29 @@ impl Engine<'_> {
 
     /// Pulls the next arrival from the source, schedules its event, and
     /// returns its request body — deadline already filled (no policy
-    /// ever observes a placeholder).
-    fn prime<S: ArrivalSource>(&mut self, source: &mut S, cost: &mut CostModel) -> Option<Request> {
-        source.next_arrival().map(|(t, class, tenant)| {
-            let id = self.next_id;
-            self.next_id += 1;
-            self.queue.push(t, Event::Arrival(id));
-            Request {
-                id,
-                tenant,
-                class,
-                arrival_ms: t,
-                deadline_ms: t
-                    + self.cfg.deadline_slack_ms
-                    + self.cfg.deadline_factor * cost.proof_ms(class.gate, class.mu),
-                attempts: 0,
-            }
-        })
+    /// ever observes a placeholder). A source emitting a NaN, infinite,
+    /// or time-reversed arrival surfaces here as a typed error.
+    fn prime<S: ArrivalSource>(
+        &mut self,
+        source: &mut S,
+        cost: &mut CostModel,
+    ) -> Result<Option<Request>, SimError> {
+        let Some((t, class, tenant)) = source.next_arrival() else {
+            return Ok(None);
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.try_push(t, Event::Arrival(id))?;
+        Ok(Some(Request {
+            id,
+            tenant,
+            class,
+            arrival_ms: t,
+            deadline_ms: t
+                + self.cfg.deadline_slack_ms
+                + self.cfg.deadline_factor * cost.proof_ms(class.gate, class.mu),
+            attempts: 0,
+        }))
     }
 
     /// Whether admission must refuse more work from `tenant`: its
@@ -695,12 +661,13 @@ impl Engine<'_> {
         self.acc.max_queue_depth = self.acc.max_queue_depth.max(self.policy.depth());
     }
 
-    fn note_dequeued(&mut self, req: &Request) {
+    fn note_dequeued(&mut self, req: &Request) -> Result<(), SimError> {
         let n = self
             .tenant_queued
             .get_mut(&req.tenant)
-            .expect("dequeued tenant was never queued");
+            .ok_or_else(|| SimError::Invariant("dequeued tenant was never queued".into()))?;
         *n -= 1;
+        Ok(())
     }
 
     fn on_arrival<S: ArrivalSource>(
@@ -717,7 +684,7 @@ impl Engine<'_> {
         debug_assert_eq!(req.id, id);
         // Pull the next arrival before admission so the event stream
         // ordering never depends on queue state.
-        self.pending = self.prime(source, cost);
+        self.pending = self.prime(source, cost)?;
         self.acc.arrivals += 1;
         if self.admission_full(req.tenant) {
             self.acc.rejected += 1;
@@ -756,7 +723,7 @@ impl Engine<'_> {
 
     /// Sends rescued work back through the retry policy, or drops it as
     /// lost when the budget is spent (or no policy is configured).
-    fn route_retry_or_lost(&mut self, mut req: Request, now: f64) {
+    fn route_retry_or_lost(&mut self, mut req: Request, now: f64) -> Result<(), SimError> {
         match self.cfg.retry {
             Some(p) if req.attempts < p.max_retries => {
                 req.attempts += 1;
@@ -767,7 +734,7 @@ impl Engine<'_> {
                     id: req.id,
                     attempt: req.attempts,
                 });
-                self.queue.push(now + backoff, Event::Retry(req.id));
+                self.queue.try_push(now + backoff, Event::Retry(req.id))?;
                 self.parked.insert(req.id, req);
             }
             _ => {
@@ -780,6 +747,7 @@ impl Engine<'_> {
                 });
             }
         }
+        Ok(())
     }
 
     fn on_retry(&mut self, id: u64, now: f64, cost: &mut CostModel) -> Result<(), SimError> {
@@ -798,7 +766,7 @@ impl Engine<'_> {
                     AdmissionOutcome::RetryRejected,
                 );
             }
-            self.route_retry_or_lost(req, now);
+            self.route_retry_or_lost(req, now)?;
         } else {
             // A fresh deadline — the old one is already blown or at
             // risk; latency still accrues from the original arrival.
@@ -852,7 +820,7 @@ impl Engine<'_> {
         }
     }
 
-    fn on_chip_up(&mut self, chip: usize, now: f64) {
+    fn on_chip_up(&mut self, chip: usize, now: f64) -> Result<(), SimError> {
         let c = &mut self.chips[chip];
         debug_assert_eq!(c.state, ChipState::Pending);
         c.state = ChipState::Up;
@@ -860,7 +828,7 @@ impl Engine<'_> {
         self.pending_up -= 1;
         self.acc.scale_ups += 1;
         self.trace.push(TraceEntry::ChipUp { time_ms: now, chip });
-        self.arm_failure(chip, now);
+        self.arm_failure(chip, now)
     }
 
     fn on_chip_down(&mut self, chip: usize, now: f64) {
@@ -877,53 +845,50 @@ impl Engine<'_> {
     /// Arms the next random failure of an online chip — only while the
     /// run still has work, so trailing fail/repair cycles cannot keep
     /// an otherwise-drained simulation alive.
-    fn arm_failure(&mut self, chip: usize, now: f64) {
+    fn arm_failure(&mut self, chip: usize, now: f64) -> Result<(), SimError> {
         if !self.work_remains() {
-            return;
+            return Ok(());
         }
         let Some(f) = self.faults.as_mut() else {
-            return;
+            return Ok(());
         };
         let Some(delay) = f.next_failure_ms() else {
-            return;
+            return Ok(());
         };
         let epoch = self.chips[chip].avail_epoch;
         self.queue
-            .push(now + delay, Event::ChipFail { chip, epoch });
+            .try_push(now + delay, Event::ChipFail { chip, epoch })
     }
 
-    fn on_chip_fail(&mut self, chip: usize, epoch: u64, now: f64) -> bool {
+    fn on_chip_fail(&mut self, chip: usize, epoch: u64, now: f64) -> Result<bool, SimError> {
         let c = &self.chips[chip];
         if c.avail_epoch != epoch || c.state != ChipState::Up || !self.work_remains() {
-            return false;
+            return Ok(false);
         }
-        let repair_at = now
-            + self
-                .faults
-                .as_mut()
-                .expect("fail without model")
-                .next_repair_ms();
-        self.fail_chip(chip, now, repair_at);
-        true
+        let Some(f) = self.faults.as_mut() else {
+            return Err(SimError::Invariant("fail without model".into()));
+        };
+        let repair_at = now + f.next_repair_ms();
+        self.fail_chip(chip, now, repair_at)?;
+        Ok(true)
     }
 
-    fn on_scripted_fail(&mut self, idx: usize, now: f64) -> bool {
-        let outage = self
-            .faults
-            .as_ref()
-            .expect("scripted fail without model")
-            .outages()[idx];
+    fn on_scripted_fail(&mut self, idx: usize, now: f64) -> Result<bool, SimError> {
+        let Some(f) = self.faults.as_ref() else {
+            return Err(SimError::Invariant("scripted fail without model".into()));
+        };
+        let outage = f.outages()[idx];
         if self.chips[outage.chip].state != ChipState::Up || !self.work_remains() {
-            return false;
+            return Ok(false);
         }
-        self.fail_chip(outage.chip, now, now + outage.down_for_ms);
-        true
+        self.fail_chip(outage.chip, now, now + outage.down_for_ms)?;
+        Ok(true)
     }
 
     /// Takes a chip down: the in-flight batch (if any) is lost and
     /// rerouted through retry, service time it never rendered is
     /// uncounted, and the repair event is scheduled.
-    fn fail_chip(&mut self, chip: usize, now: f64, repair_at: f64) {
+    fn fail_chip(&mut self, chip: usize, now: f64, repair_at: f64) -> Result<(), SimError> {
         let c = &mut self.chips[chip];
         debug_assert_eq!(c.state, ChipState::Up);
         c.state = ChipState::Failed;
@@ -950,16 +915,17 @@ impl Engine<'_> {
         self.acc.chip_failures += 1;
         self.trace.push(TraceEntry::ChipFail { time_ms: now, chip });
         self.queue
-            .push(repair_at, Event::ChipRepair { chip, epoch });
+            .try_push(repair_at, Event::ChipRepair { chip, epoch })?;
         for r in lost_batch {
-            self.route_retry_or_lost(r, now);
+            self.route_retry_or_lost(r, now)?;
         }
+        Ok(())
     }
 
-    fn on_chip_repair(&mut self, chip: usize, epoch: u64, now: f64) -> bool {
+    fn on_chip_repair(&mut self, chip: usize, epoch: u64, now: f64) -> Result<bool, SimError> {
         let c = &mut self.chips[chip];
         if c.avail_epoch != epoch || c.state != ChipState::Failed {
-            return false;
+            return Ok(false);
         }
         c.state = ChipState::Up;
         c.avail_epoch += 1;
@@ -971,8 +937,8 @@ impl Engine<'_> {
         if let Some(tl) = &mut self.timeline {
             tl.end_failed(chip, now);
         }
-        self.arm_failure(chip, now);
-        true
+        self.arm_failure(chip, now)?;
+        Ok(true)
     }
 
     fn online_count(&self) -> usize {
@@ -1022,14 +988,17 @@ impl Engine<'_> {
             max_chips: a.max_chips,
         };
         if now - self.last_scale_action_ms >= a.cooldown_ms {
-            let decision = self.scaler.as_mut().expect("checked above").decide(&obs);
-            if self.apply_decision(decision, &a, &obs) {
+            let Some(scaler) = self.scaler.as_mut() else {
+                return Err(SimError::TickWithoutAutoscaler { time_ms: now });
+            };
+            let decision = scaler.decide(&obs);
+            if self.apply_decision(decision, &a, &obs)? {
                 self.last_scale_action_ms = now;
             }
         }
         // Keep ticking only while the system still has work.
         if self.work_remains() {
-            self.queue.push(now + a.interval_ms, Event::ScaleTick);
+            self.queue.try_push(now + a.interval_ms, Event::ScaleTick)?;
         }
         Ok(())
     }
@@ -1042,10 +1011,10 @@ impl Engine<'_> {
         decision: ScaleDecision,
         a: &AutoscaleConfig,
         obs: &ScaleObservation,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         let now = self.queue.now();
         match decision {
-            ScaleDecision::Hold => false,
+            ScaleDecision::Hold => Ok(false),
             ScaleDecision::Up(want) => {
                 let headroom = a.max_chips.saturating_sub(obs.committed_chips());
                 let add = want.min(headroom);
@@ -1061,12 +1030,12 @@ impl Engine<'_> {
                         self.provisioned += 1;
                         self.pending_up += 1;
                         self.queue
-                            .push(now + a.spin_up_ms, Event::ChipUp { chip: i });
+                            .try_push(now + a.spin_up_ms, Event::ChipUp { chip: i })?;
                         added += 1;
                     }
                 }
                 self.acc.peak_chips = self.acc.peak_chips.max(self.provisioned);
-                added > 0
+                Ok(added > 0)
             }
             ScaleDecision::Down(want) => {
                 // Only idle online chips retire, and never below the
@@ -1087,11 +1056,11 @@ impl Engine<'_> {
                     if c.state == ChipState::Up && !c.busy {
                         c.state = ChipState::Retiring;
                         c.avail_epoch += 1;
-                        self.queue.push(now, Event::ChipDown { chip: i });
+                        self.queue.try_push(now, Event::ChipDown { chip: i })?;
                         dropped += 1;
                     }
                 }
-                dropped > 0
+                Ok(dropped > 0)
             }
         }
     }
@@ -1100,20 +1069,22 @@ impl Engine<'_> {
     /// fraction of the initial pool, trim the queue to what the
     /// survivors can plausibly serve by shedding the latest-deadline
     /// work. Shedding is terminal.
-    fn shed_if_browned_out(&mut self, now: f64) {
-        let Some(b) = self.cfg.brown_out else { return };
+    fn shed_if_browned_out(&mut self, now: f64) -> Result<(), SimError> {
+        let Some(b) = self.cfg.brown_out else {
+            return Ok(());
+        };
         let online = self.online_count();
         if (online as f64) >= b.capacity_threshold * self.initial_online as f64 {
-            return;
+            return Ok(());
         }
         let target = b.max_queue_per_chip * online;
         let depth = self.policy.depth();
         if depth <= target {
-            return;
+            return Ok(());
         }
         let victims = self.policy.drain_latest_deadline(depth - target);
         for v in victims {
-            self.note_dequeued(&v);
+            self.note_dequeued(&v)?;
             self.acc.shed += 1;
             *self.acc.shed_by_tenant.entry(v.tenant).or_insert(0) += 1;
             self.trace.push(TraceEntry::Shed {
@@ -1122,27 +1093,23 @@ impl Engine<'_> {
                 tenant: v.tenant,
             });
         }
+        Ok(())
     }
 
-    fn dispatch(&mut self, cost: &mut CostModel) {
+    fn dispatch(&mut self, cost: &mut CostModel) -> Result<(), SimError> {
         let now = self.queue.now();
         loop {
             if self.policy.depth() == 0 {
-                return;
+                return Ok(());
             }
             let Some(chip_idx) = self.chips.iter().position(Chip::dispatchable) else {
-                return;
+                return Ok(());
             };
-            let batch = self
-                .policy
-                .pop_batch(self.cfg.max_batch)
-                .expect("depth > 0 implies a batch");
+            let Some(batch) = self.policy.pop_batch(self.cfg.max_batch) else {
+                return Err(SimError::Invariant("depth > 0 implies a batch".into()));
+            };
             for r in &batch {
-                let n = self
-                    .tenant_queued
-                    .get_mut(&r.tenant)
-                    .expect("dequeued tenant was never queued");
-                *n -= 1;
+                self.note_dequeued(r)?;
             }
             // With a retry policy, deadline-expired work is caught here
             // and recycled instead of burning chip time; without one
@@ -1153,7 +1120,7 @@ impl Engine<'_> {
                 (batch, Vec::new())
             };
             for r in expired {
-                self.route_retry_or_lost(r, now);
+                self.route_retry_or_lost(r, now)?;
             }
             if live.is_empty() {
                 continue;
@@ -1181,13 +1148,13 @@ impl Engine<'_> {
             }
             c.batch = live;
             self.acc.batches += 1;
-            self.queue.push(
+            self.queue.try_push(
                 now + service_ms,
                 Event::BatchDone {
                     chip: chip_idx,
                     epoch: c.dispatch_epoch,
                 },
-            );
+            )?;
         }
     }
 }
@@ -1317,7 +1284,7 @@ pub fn simulate_poisson_fleet(
     let mix = WorkloadMix::table_vii_jellyfish(21);
     let mut source = PoissonSource::new(rate_rps, horizon_ms, mix, seed);
     let cfg = FleetConfig::new(chips).with_policy(policy);
-    simulate(&cfg, &mut source, &mut cost).expect("fixed config is valid")
+    simulate(&cfg, &mut source, &mut cost).unwrap_or_else(|e| panic!("fixed config is valid: {e}"))
 }
 
 /// A single-class trace helper used by tests and benches.
@@ -1795,6 +1762,36 @@ mod tests {
         let err = simulate(&cfg, &mut source, &mut cost).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)));
         assert!(err.to_string().contains("chip 7"));
+    }
+
+    #[test]
+    fn non_finite_arrival_times_yield_typed_errors() {
+        // A source emitting a NaN or infinite arrival time must surface
+        // as a typed Err from simulate, never a panic from inside the
+        // event heap's comparator (pinned: the partial_cmp era panicked).
+        let mut cost = CostModel::exemplar();
+        let class = RequestClass::new(Gate::Jellyfish, 16);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut source = crate::arrivals::TraceSource::new(vec![(bad, class)]);
+            let err = simulate(&FleetConfig::new(1), &mut source, &mut cost).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidTime { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // A time-reversed source (which TraceSource's constructor would
+        // refuse) is also a typed error, not a panic.
+        struct Backwards(Vec<f64>);
+        impl crate::arrivals::ArrivalSource for Backwards {
+            fn next_arrival(&mut self) -> Option<(f64, RequestClass, TenantId)> {
+                self.0
+                    .pop()
+                    .map(|t| (t, RequestClass::new(Gate::Jellyfish, 16), 0))
+            }
+        }
+        let mut source = Backwards(vec![5.0, 10.0]);
+        let err = simulate(&FleetConfig::new(1), &mut source, &mut cost).unwrap_err();
+        assert!(matches!(err, SimError::EventInPast { .. }), "{err:?}");
     }
 
     #[test]

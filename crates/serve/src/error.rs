@@ -1,0 +1,89 @@
+//! Typed failure modes of the proving service.
+//!
+//! The serve dispatch loop has the same no-panic contract as the fleet
+//! engine's `simulate()`: anything that can go wrong — a refused
+//! submission, a poisoned lock, a dead worker, an engine invariant
+//! breaking — comes back as a [`ServeError`] value, never a panic that
+//! takes the whole front-end down with one bad request.
+
+use zkphire_fleet::{MetricsError, SimError, TenantId};
+
+/// Typed failure modes of [`crate::service::ProvingService`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The [`crate::service::ServeConfig`] is unusable (no workers, no
+    /// serveable classes, a non-finite deadline knob, …).
+    InvalidConfig(String),
+    /// Admission refused the request: the submitting tenant is at its
+    /// queued-request cap.
+    TenantCapExceeded {
+        /// The capped tenant.
+        tenant: TenantId,
+        /// Its configured cap.
+        cap: usize,
+    },
+    /// Admission refused the request: the shared queue is full.
+    QueueFull {
+        /// The configured shared capacity.
+        capacity: usize,
+    },
+    /// The service is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// A request named a class the service did not bake prover assets
+    /// for at startup.
+    UnknownClass(String),
+    /// A service invariant broke (a worker died, a lock was poisoned,
+    /// accounting drifted, a proof failed verification). Mirrors
+    /// [`SimError::Invariant`].
+    Invariant(String),
+    /// Wall-clock summarization rejected the run's latency sample.
+    Metrics(MetricsError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid serve config: {why}"),
+            Self::TenantCapExceeded { tenant, cap } => {
+                write!(f, "tenant {tenant} at queued-request cap {cap}")
+            }
+            Self::QueueFull { capacity } => {
+                write!(f, "shared queue at capacity {capacity}")
+            }
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::UnknownClass(class) => {
+                write!(f, "no prover assets baked for class {class}")
+            }
+            Self::Invariant(why) => write!(f, "service invariant broke: {why}"),
+            Self::Metrics(e) => write!(f, "metrics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<MetricsError> for ServeError {
+    fn from(e: MetricsError) -> Self {
+        Self::Metrics(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Metrics(m) => Self::Metrics(m),
+            other => Self::Invariant(other.to_string()),
+        }
+    }
+}
+
+impl ServeError {
+    /// Whether this error is an admission refusal (the request was
+    /// counted and rejected by policy) rather than a service fault.
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self,
+            Self::TenantCapExceeded { .. } | Self::QueueFull { .. }
+        )
+    }
+}

@@ -1,0 +1,52 @@
+//! `zkphire-serve`: an in-process asynchronous proving service — the
+//! live counterpart of the `zkphire-fleet` discrete-event simulator.
+//!
+//! The fleet DES predicts what a proving fleet *would* do from the
+//! paper's cycle model; this crate *runs* one, with real HyperPlonk
+//! provers standing in for the simulated chips:
+//!
+//! ```text
+//! submit() ──► admission ──► dispatcher ──► worker pool ──► ServeReport
+//!              (per-tenant    (BatchPolicy,  (prove +        (same
+//!               caps, queue    RetryPolicy   verify per      summarizer
+//!               capacity)      backoff,      request, real   as the DES)
+//!                              brown-out)    wall clock)
+//! ```
+//!
+//! Every policy object is shared with the simulator — the same
+//! [`zkphire_fleet::PolicyKind`] batching, [`zkphire_fleet::RetryPolicy`]
+//! backoff, [`zkphire_fleet::BrownOutConfig`] shedding, and per-tenant
+//! caps — and both sides reduce the same
+//! [`zkphire_fleet::RequestRecord`]s through the same summarizer. Replay
+//! one arrival trace through both ([`loadgen::replay`] live,
+//! [`zkphire_fleet::simulate`] modeled) and the per-tenant latency
+//! quantiles are directly comparable; `repro serve` automates exactly
+//! that check. See `docs/SERVE.md` for the architecture and the
+//! sim-vs-wall methodology.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use zkphire_core::protocol::Gate;
+//! use zkphire_fleet::RequestClass;
+//! use zkphire_serve::{ProvingService, ServeConfig, ServeOpts};
+//!
+//! let class = RequestClass::new(Gate::Vanilla, 6);
+//! let cfg = ServeConfig::new(vec![class])
+//!     .with_opts(ServeOpts::default().with_workers(2));
+//! let service = ProvingService::start(cfg).expect("startup");
+//! let id = service.submit(class, 0).expect("admitted");
+//! let report = service.shutdown().expect("clean drain");
+//! assert_eq!(report.summary.completed, 1);
+//! assert_eq!(report.records[0].id, id);
+//! ```
+
+pub mod error;
+pub mod loadgen;
+pub mod opts;
+pub mod service;
+
+pub use error::ServeError;
+pub use loadgen::{replay, LoadGenReport};
+pub use opts::ServeOpts;
+pub use service::{ProvingService, ServeConfig, ServeReport};

@@ -1,0 +1,89 @@
+//! Replays the simulator's arrival processes against a live
+//! [`ProvingService`].
+//!
+//! Any [`ArrivalSource`] — Poisson, bursty ON/OFF, or a recorded trace
+//! — drives the service in wall-clock time: each arrival is submitted
+//! when the wall clock reaches its (scaled) timestamp. Replaying the
+//! *same* source the DES consumed, at a `time_scale` that maps the cost
+//! model's chip-milliseconds onto this machine's measured
+//! proof-milliseconds, is what makes the sim-vs-wall comparison in
+//! `repro serve` apples-to-apples.
+
+use std::collections::BTreeMap;
+
+use zkphire_fleet::{ArrivalSource, TenantId};
+
+use crate::error::ServeError;
+use crate::service::ProvingService;
+
+/// What one replay run observed at the submission boundary. Rejections
+/// here are the *client's* view of admission; the service's own
+/// [`crate::service::ServeReport`] counts the same events on the server
+/// side, and the two must agree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadGenReport {
+    /// Arrivals the source produced within the horizon.
+    pub submitted: u64,
+    /// Submissions the service admitted.
+    pub accepted: u64,
+    /// Submissions refused by per-tenant cap or queue capacity.
+    pub rejected: u64,
+    /// Policy rejections by submitting tenant.
+    pub rejected_by_tenant: BTreeMap<TenantId, u64>,
+}
+
+/// Replays `source` against `service` in real time.
+///
+/// Each arrival at source-time `t` ms is submitted once the wall clock
+/// (measured from the service's start) reaches `t × time_scale` ms; the
+/// generator sleeps between arrivals, so the inter-arrival process —
+/// including bursts — survives the replay. Arrivals past `horizon_ms`
+/// (source time) are dropped, mirroring the DES horizon. A
+/// `time_scale` of 1.0 replays source milliseconds as wall
+/// milliseconds; use `measured_ms / modeled_ms` to restate a cost-model
+/// trace in this machine's proof latency.
+///
+/// Policy rejections ([`ServeError::is_rejection`]) are expected
+/// outcomes and are counted, not returned; any other submission error
+/// aborts the replay.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] for a non-finite/non-positive
+/// `time_scale` or a non-finite `horizon_ms`; otherwise whatever
+/// non-rejection error [`ProvingService::submit`] surfaced (e.g.
+/// [`ServeError::ShuttingDown`]).
+pub fn replay<S: ArrivalSource>(
+    service: &ProvingService,
+    source: &mut S,
+    horizon_ms: f64,
+    time_scale: f64,
+) -> Result<LoadGenReport, ServeError> {
+    if !time_scale.is_finite() || time_scale <= 0.0 {
+        return Err(ServeError::InvalidConfig(format!(
+            "time_scale must be finite and positive, got {time_scale}"
+        )));
+    }
+    if !horizon_ms.is_finite() {
+        return Err(ServeError::InvalidConfig(format!(
+            "non-finite horizon {horizon_ms}"
+        )));
+    }
+    let mut report = LoadGenReport::default();
+    while let Some((t, class, tenant)) = source.next_arrival() {
+        if t > horizon_ms {
+            break;
+        }
+        service.sleep_until_ms(t * time_scale);
+        report.submitted += 1;
+        match service.submit(class, tenant) {
+            Ok(_) => report.accepted += 1,
+            Err(e) if e.is_rejection() => {
+                report.rejected += 1;
+                *report.rejected_by_tenant.entry(tenant).or_insert(0) += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(report)
+}

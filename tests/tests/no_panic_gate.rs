@@ -1,0 +1,69 @@
+//! Source gate: the fleet engine and the serve front-end hold a
+//! no-panic contract on their non-test code — anything that can go
+//! wrong comes back as a typed error (`SimError`, `ServeError`), never
+//! an `.expect(...)` / `.unwrap()` panic that takes a simulation or the
+//! live service down.
+//!
+//! This scan is the enforcement: it walks `crates/fleet/src` and
+//! `crates/serve/src`, strips test modules and comments, and fails on
+//! any surviving `.expect(` or `.unwrap()`. Explicit
+//! `panic!`/`assert!` builder validations and the documented panicking
+//! *wrappers* (`EventQueue::push` over `try_push`) are allowed — the
+//! contract bans the implicit panics, where the error message says
+//! nothing about what broke.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects `path:line: source` for every banned call outside test
+/// code and comments.
+fn scan_file(path: &Path, violations: &mut Vec<String>) {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    for (i, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        // Test modules sit at the bottom of each file by repo
+        // convention; everything from the cfg(test) marker down is out
+        // of scope for the gate.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if line.contains(".expect(") || line.contains(".unwrap()") {
+            violations.push(format!("{}:{}: {trimmed}", path.display(), i + 1));
+        }
+    }
+}
+
+fn scan_dir(dir: &Path, violations: &mut Vec<String>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read dir {}: {e}", dir.display()));
+    let mut paths: Vec<PathBuf> = entries.map(|e| e.expect("dir entry").path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            scan_dir(&path, violations);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            scan_file(&path, violations);
+        }
+    }
+}
+
+#[test]
+fn fleet_and_serve_sources_never_panic_implicitly() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives one level below the workspace root");
+    let mut violations = Vec::new();
+    for crate_src in ["crates/fleet/src", "crates/serve/src"] {
+        let dir = repo_root.join(crate_src);
+        assert!(dir.is_dir(), "missing {}", dir.display());
+        scan_dir(&dir, &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "implicit panic paths in no-panic crates (use typed SimError/ServeError \
+         returns instead):\n{}",
+        violations.join("\n")
+    );
+}
