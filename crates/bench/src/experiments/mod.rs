@@ -57,7 +57,8 @@ pub fn run(name: &str) -> Option<String> {
 
 /// Runs one experiment by name with extra command-line flags (`perf`
 /// consumes `--smoke` and `--out <path>`; `obs` consumes
-/// `--out-dir <dir>`; `serve` consumes `--smoke` and `--out <path>`).
+/// `--out-dir <dir>`; `serve` consumes `--smoke`, `--out <path>`, and
+/// `--out-dir <dir>` for its wall/sim trace artifacts).
 pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
     Some(match name {
         "table1" => table1(),

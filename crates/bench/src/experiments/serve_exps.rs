@@ -1,5 +1,5 @@
 //! The `serve` experiment: validate the fleet DES against the live
-//! proving service on one trace.
+//! proving service on one trace, and attribute the gap between them.
 //!
 //! The discrete-event simulator claims to predict fleet behavior from
 //! per-class proof latency alone. This experiment tests that claim
@@ -15,18 +15,28 @@
 //! 3. generate one multi-tenant Poisson trace at a fixed utilization
 //!    target and run it through **both** sides: `simulate` (sim time)
 //!    and [`zkphire_serve::replay`] (wall time), with identical policy,
-//!    pool size, batch cap, and deadline knobs;
-//! 4. report per-tenant p50/p95/p99 side by side and write
-//!    `BENCH_serve.json`.
+//!    pool size, batch cap, and deadline knobs — the live side with the
+//!    wall-timeline recorder on and terminal outcomes streaming;
+//! 4. rebuild the [`WallTimeline`] from the drained telemetry profile
+//!    and **assert reconciliation** ([`reconcile_wall`]): outcome
+//!    counts equal, worker busy-span integrals bitwise equal to the
+//!    summary's utilization numerators;
+//! 5. report per-tenant p50/p95/p99 side by side, decompose the
+//!    sim-vs-wall p99 gap into its measured contributors (dispatch
+//!    wakeup latency, loadgen arrival error), and write
+//!    `BENCH_serve.json` (schema v2).
 //!
 //! Outcome conservation (every traced arrival completes on both sides)
 //! is a hard assertion — a run that drops work is a bug, not a data
 //! point. The latency *ratios* are informational: sim time is an M/G/k
 //! idealization (zero dispatch overhead, perfectly parallel workers),
 //! so wall quantiles run a modest factor above it; what should hold is
-//! the *shape* — tenants ordered the same, tails inflating together.
-//! `--smoke` shrinks the trace so CI can gate the harness and the JSON
-//! schema in seconds.
+//! the *shape* — tenants ordered the same, tails inflating together —
+//! and the gap histograms name where the remaining wall-only time goes.
+//! `--smoke` shrinks the trace so CI can gate the harness, the JSON
+//! schema, and the trace exports in seconds. `--out-dir <dir>` writes
+//! the four trace artifacts (wall Chrome trace + JSONL, streamed
+//! outcomes JSONL, sim Chrome trace) for side-by-side Perfetto loading.
 
 use std::fmt::Write as _;
 
@@ -35,8 +45,11 @@ use zkphire_core::protocol::Gate;
 use zkphire_fleet::{
     simulate, FleetConfig, PolicyKind, RequestClass, SplitMix64, TenantSummary, TraceSource,
 };
-use zkphire_serve::{replay, ProvingService, ServeConfig, ServeOpts};
+use zkphire_serve::{reconcile_wall, replay, ProvingService, ServeConfig, ServeOpts};
+use zkphire_telemetry as tele;
+use zkphire_telemetry::{Histogram, WallTimeline};
 
+use super::obs_exps::tele_guard;
 use crate::fmt_table;
 
 /// Scenario constants: two equal-weight tenants, weighted-fair
@@ -67,7 +80,7 @@ pub fn serve() -> String {
     serve_with_args(&[])
 }
 
-/// `repro serve [--smoke] [--out <path>]`.
+/// `repro serve [--smoke] [--out <path>] [--out-dir <dir>]`.
 pub fn serve_with_args(args: &[String]) -> String {
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
@@ -75,6 +88,11 @@ pub fn serve_with_args(args: &[String]) -> String {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_serve.json", String::as_str);
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let classes: Vec<RequestClass> = if smoke {
         vec![RequestClass::new(Gate::Vanilla, 4)]
@@ -95,7 +113,10 @@ pub fn serve_with_args(args: &[String]) -> String {
             .with_prover_threads(1)
             .with_max_batch(4)
     } else {
-        ServeOpts::from_env()
+        match ServeOpts::from_env() {
+            Ok(o) => o,
+            Err(e) => return format!("serve: {e}\n"),
+        }
     };
     let workers = opts.workers;
     let max_batch = opts.max_batch;
@@ -108,13 +129,35 @@ pub fn serve_with_args(args: &[String]) -> String {
         opts.prover_threads
     );
 
+    // The wall timeline records through the process-global profiler;
+    // hold the session guard so concurrently running experiments (the
+    // golden harness is threaded) cannot interleave.
+    let guard = tele_guard();
+    tele::reset();
+    tele::set_enabled(true);
+
+    // Terminal outcomes stream out as they resolve; the collector
+    // thread turns them into JSONL lines live, the way a tailing
+    // operator would consume them.
+    let (outcome_tx, outcome_rx) = std::sync::mpsc::channel();
+    let collector = std::thread::spawn(move || {
+        let mut lines = String::new();
+        for rec in outcome_rx {
+            let r: zkphire_fleet::OutcomeRecord = rec;
+            lines.push_str(&r.to_jsonl_line());
+            lines.push('\n');
+        }
+        lines
+    });
+
     // 1. Start the live service; its startup calibration measures each
     // class's real single-proof latency on this machine.
     let serve_cfg = ServeConfig::new(classes.clone())
         .with_policy(PolicyKind::WeightedFair)
         .with_tenant_weights(TENANT_WEIGHTS.to_vec())
         .with_seed(SEED)
-        .with_opts(opts);
+        .with_opts(opts)
+        .with_outcome_stream(outcome_tx);
     let service = match ProvingService::start(serve_cfg) {
         Ok(s) => s,
         Err(e) => return format!("serve: service failed to start: {e}\n"),
@@ -144,11 +187,13 @@ pub fn serve_with_args(args: &[String]) -> String {
     }
     let horizon_ms = t + 1.0;
 
-    // DES side, in sim time.
+    // DES side, in sim time, with its own timeline recorder on so the
+    // two traces can sit next to each other in Perfetto.
     let fleet_cfg = FleetConfig::new(workers)
         .with_policy(PolicyKind::WeightedFair)
         .with_max_batch(max_batch)
-        .with_tenant_weights(TENANT_WEIGHTS.to_vec());
+        .with_tenant_weights(TENANT_WEIGHTS.to_vec())
+        .with_telemetry();
     let mut fleet_cfg = fleet_cfg;
     fleet_cfg.batch_overhead_ms = 0.0; // the live pool has no program swap
     let sim_report = match simulate(
@@ -174,6 +219,16 @@ pub fn serve_with_args(args: &[String]) -> String {
         Ok(r) => r,
         Err(e) => return format!("serve: shutdown failed: {e}\n"),
     };
+    // Shutdown dropped the last outcome sender (it lived in the service
+    // config), so the collector's channel closed and it can be joined.
+    let outcomes_jsonl = collector
+        .join()
+        .unwrap_or_else(|_| "outcome collector panicked\n".to_string());
+
+    tele::set_enabled(false);
+    let profile = tele::drain();
+    drop(guard);
+    let wall_tl = WallTimeline::from_events(&profile.wall_events);
 
     // 4. Conservation is a hard gate: with no caps configured, every
     // traced arrival must complete on both sides.
@@ -189,6 +244,25 @@ pub fn serve_with_args(args: &[String]) -> String {
     assert_eq!(
         wall_report.summary.completed, n_requests as u64,
         "live service completes the whole trace"
+    );
+    // And so is wall-timeline reconciliation: the timeline rebuilt from
+    // recorded events and the summary reduced from drain records are
+    // independent paths over the same run — they must agree exactly.
+    assert!(
+        !wall_tl.is_empty(),
+        "recording was on; the timeline cannot be empty"
+    );
+    if let Err(e) = reconcile_wall(&wall_tl, &wall_report.summary) {
+        return format!("serve: wall timeline failed reconciliation: {e}\n");
+    }
+    let streamed = outcomes_jsonl.lines().count() as u64;
+    let terminal = wall_report.summary.completed
+        + wall_report.summary.rejected
+        + wall_report.summary.shed
+        + wall_report.summary.lost;
+    assert_eq!(
+        streamed, terminal,
+        "one streamed outcome record per terminal outcome"
     );
 
     let _ = writeln!(out, "calibration (real prover, single proof):");
@@ -242,14 +316,74 @@ pub fn serve_with_args(args: &[String]) -> String {
         ],
         &rows,
     ));
+    let sim_p99 = sim_report.summary.p99_latency_ms;
+    let wall_p99 = wall_report.summary.p99_latency_ms;
     let _ = writeln!(
         out,
         "\noverall: sim p99 {:.2} ms, wall p99 {:.2} ms; sim makespan {:.0} ms, wall makespan {:.0} ms",
-        sim_report.summary.p99_latency_ms,
-        wall_report.summary.p99_latency_ms,
+        sim_p99,
+        wall_p99,
         sim_report.summary.makespan_ms,
         wall_report.summary.makespan_ms,
     );
+
+    // 5. Gap attribution: the two wall-only delays the DES does not
+    // model, measured instead of hand-waved.
+    let hist_row = |name: &str, h: &Histogram| {
+        vec![
+            name.to_string(),
+            h.count.to_string(),
+            (if h.count == 0 { 0 } else { h.min }).to_string(),
+            format!("{:.1}", h.mean()),
+            h.max.to_string(),
+        ]
+    };
+    out.push('\n');
+    out.push_str(&fmt_table(
+        &format!(
+            "sim-vs-wall gap attribution (overall p99 ratio {:.2}x)",
+            wall_p99 / sim_p99.max(f64::MIN_POSITIVE)
+        ),
+        &["contributor (µs)", "count", "min", "mean", "max"],
+        &[
+            hist_row("dispatch wakeup", &wall_report.dispatch_wakeup_us),
+            hist_row("loadgen arrival error", &gen.arrival_error_us),
+        ],
+    ));
+    let _ = writeln!(
+        out,
+        "\nwall timeline: {} events; outcome counts and worker busy integrals \
+         reconcile with ServeSummary (bitwise); {streamed} outcome records streamed",
+        wall_tl.events().len()
+    );
+
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            let _ = writeln!(out, "FAILED to create {}: {e}", dir.display());
+        }
+        let sim_chrome = sim_report
+            .timeline
+            .as_ref()
+            .map(|tl| tl.to_chrome_trace())
+            .unwrap_or_default();
+        let files = [
+            ("SERVE_wall_trace.json", wall_tl.to_chrome_trace()),
+            ("SERVE_wall.jsonl", wall_tl.to_jsonl()),
+            ("SERVE_outcomes.jsonl", outcomes_jsonl),
+            ("SERVE_sim_trace.json", sim_chrome),
+        ];
+        for (name, body) in files {
+            match std::fs::write(dir.join(name), body) {
+                Ok(()) => {
+                    let _ = writeln!(out, "wrote {}", dir.join(name).display());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "FAILED to write {}: {e}", dir.join(name).display());
+                }
+            }
+        }
+    }
 
     match std::fs::write(
         out_path,
@@ -259,6 +393,14 @@ pub fn serve_with_args(args: &[String]) -> String {
             &calibration,
             &sim_report.summary.per_tenant,
             &wall_report.summary.per_tenant,
+            &GapFacts {
+                sim_p99_ms: sim_p99,
+                wall_p99_ms: wall_p99,
+                dispatch_wakeup_us: &wall_report.dispatch_wakeup_us,
+                arrival_error_us: &gen.arrival_error_us,
+                wall_events: wall_tl.events().len() as u64,
+                wall_epoch_ns: wall_tl.epoch_ns(),
+            },
         ),
     ) {
         Ok(()) => {
@@ -271,12 +413,23 @@ pub fn serve_with_args(args: &[String]) -> String {
     out
 }
 
+/// The measured gap decomposition that lands in `BENCH_serve.json` v2.
+struct GapFacts<'a> {
+    sim_p99_ms: f64,
+    wall_p99_ms: f64,
+    dispatch_wakeup_us: &'a Histogram,
+    arrival_error_us: &'a Histogram,
+    wall_events: u64,
+    wall_epoch_ns: u64,
+}
+
 fn render_json(
     smoke: bool,
     workers: usize,
     calibration: &[(RequestClass, f64)],
     sim: &[TenantSummary],
     wall: &[TenantSummary],
+    gap: &GapFacts<'_>,
 ) -> String {
     fn tenants_json(s: &mut String, key: &str, tenants: &[TenantSummary]) {
         let _ = writeln!(s, "  \"{key}\": [");
@@ -291,11 +444,27 @@ fn render_json(
         let _ = writeln!(s, "  ],");
     }
 
+    fn hist_json(h: &Histogram) -> String {
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.4}}}",
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.mean()
+        )
+    }
+
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"zkphire-bench-serve/v1\",\n");
+    s.push_str("  \"schema\": \"zkphire-bench-serve/v2\",\n");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(
+        s,
+        "  \"meta\": {{\"wall_events\": {}, \"wall_epoch_ns\": {}}},",
+        gap.wall_events, gap.wall_epoch_ns
+    );
     s.push_str("  \"calibration\": [\n");
     for (i, (class, ms)) in calibration.iter().enumerate() {
         let comma = if i + 1 == calibration.len() { "" } else { "," };
@@ -312,6 +481,25 @@ fn render_json(
     s.push_str("  ],\n");
     tenants_json(&mut s, "sim", sim);
     tenants_json(&mut s, "wall", wall);
+    let _ = writeln!(s, "  \"gap\": {{");
+    let _ = writeln!(s, "    \"sim_p99_ms\": {:.4},", gap.sim_p99_ms);
+    let _ = writeln!(s, "    \"wall_p99_ms\": {:.4},", gap.wall_p99_ms);
+    let _ = writeln!(
+        s,
+        "    \"p99_ratio\": {:.4},",
+        gap.wall_p99_ms / gap.sim_p99_ms.max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(
+        s,
+        "    \"dispatch_wakeup_us\": {},",
+        hist_json(gap.dispatch_wakeup_us)
+    );
+    let _ = writeln!(
+        s,
+        "    \"arrival_error_us\": {}",
+        hist_json(gap.arrival_error_us)
+    );
+    s.push_str("  },\n");
     s.push_str("  \"unit\": \"ms\"\n}\n");
     s
 }
@@ -321,7 +509,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_run_agrees_on_counts_and_writes_json() {
+    fn smoke_run_reconciles_and_writes_v2_json_with_artifacts() {
         let dir = std::env::temp_dir().join("zkphire_serve_exp_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let out = dir.join("BENCH_serve.json");
@@ -329,15 +517,42 @@ mod tests {
             "--smoke".to_string(),
             "--out".to_string(),
             out.display().to_string(),
+            "--out-dir".to_string(),
+            dir.display().to_string(),
         ]);
         assert!(
             report.contains("per-tenant latency"),
             "table rendered:\n{report}"
         );
+        assert!(
+            report.contains("gap attribution"),
+            "gap table rendered:\n{report}"
+        );
+        assert!(
+            report.contains("reconcile with ServeSummary"),
+            "reconciliation asserted at drain:\n{report}"
+        );
         assert!(report.contains("wrote "), "json written:\n{report}");
         let json = std::fs::read_to_string(&out).expect("json exists");
-        assert!(json.contains("\"schema\": \"zkphire-bench-serve/v1\""));
+        assert!(json.contains("\"schema\": \"zkphire-bench-serve/v2\""));
         assert!(json.contains("\"sim\""));
         assert!(json.contains("\"wall\""));
+        assert!(json.contains("\"gap\""));
+        assert!(json.contains("\"p99_ratio\""));
+        assert!(json.contains("\"dispatch_wakeup_us\""));
+        assert!(json.contains("\"arrival_error_us\""));
+        let wall_trace =
+            std::fs::read_to_string(dir.join("SERVE_wall_trace.json")).expect("wall trace");
+        assert!(wall_trace.starts_with("{\"traceEvents\":["));
+        assert!(wall_trace.contains("\"ph\":\"b\""), "async lifecycle lanes");
+        let outcomes = std::fs::read_to_string(dir.join("SERVE_outcomes.jsonl")).expect("outcomes");
+        assert_eq!(
+            outcomes.lines().count(),
+            24,
+            "one line per terminal outcome"
+        );
+        assert!(outcomes.contains("\"outcome\":\"completed\""));
+        let wall_jsonl = std::fs::read_to_string(dir.join("SERVE_wall.jsonl")).expect("jsonl");
+        assert!(wall_jsonl.starts_with("{\"kind\":\"meta\""));
     }
 }

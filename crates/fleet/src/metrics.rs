@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::request::{RequestRecord, TenantId};
+use zkphire_telemetry::Outcome;
 
 /// Typed rejection of a bad metrics query. NaN is caught when the
 /// sample is handed in — not deep inside a sort comparator — so callers
@@ -220,6 +221,20 @@ pub struct FleetSummary {
     /// Jain fairness index over weight-normalized per-tenant
     /// completions (1.0 for single-tenant runs).
     pub jain_fairness: f64,
+}
+
+impl FleetSummary {
+    /// The count behind each terminal [`Outcome`] — the reconciliation
+    /// surface a [`zkphire_telemetry::WallTimeline`] checks itself
+    /// against (see `zkphire-serve`'s `reconcile_wall`).
+    pub fn outcome_count(&self, outcome: Outcome) -> u64 {
+        match outcome {
+            Outcome::Completed => self.completed,
+            Outcome::Rejected => self.rejected,
+            Outcome::Shed => self.shed,
+            Outcome::Lost => self.lost,
+        }
+    }
 }
 
 /// Raw accumulators the simulator hands to [`summarize`].

@@ -1,6 +1,7 @@
 //! Proof requests, their size classes, and the tenants that submit them.
 
 use zkphire_core::protocol::Gate;
+use zkphire_telemetry::{escape_json, json_num, Outcome};
 
 /// Identifies the customer a request belongs to. A single-tenant
 /// deployment uses tenant `0` everywhere; multi-tenant runs assign one
@@ -90,5 +91,43 @@ impl RequestRecord {
     /// Whether the request finished by its deadline.
     pub fn met_deadline(&self) -> bool {
         self.finish_ms <= self.deadline_ms
+    }
+}
+
+/// Terminal-outcome record for one request, emitted as it resolves —
+/// the streaming counterpart to the drain-time [`RequestRecord`] list.
+/// Covers every terminal state ([`Outcome`]), not just completions.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomeRecord {
+    /// The request id.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Service class.
+    pub class: RequestClass,
+    /// How the request left the system.
+    pub outcome: Outcome,
+    /// When the outcome was reached (ms since service start).
+    pub t_ms: f64,
+    /// Sojourn time for completions (ms); 0 for requests that never
+    /// finished service.
+    pub latency_ms: f64,
+    /// Retries consumed.
+    pub attempts: u32,
+}
+
+impl OutcomeRecord {
+    /// One JSONL line (no trailing newline), stable field order.
+    pub fn to_jsonl_line(&self) -> String {
+        format!(
+            "{{\"id\":{},\"tenant\":{},\"class\":\"{}\",\"outcome\":\"{}\",\"t_ms\":{},\"latency_ms\":{},\"attempts\":{}}}",
+            self.id,
+            self.tenant,
+            escape_json(&self.class.to_string()),
+            self.outcome.as_str(),
+            json_num(self.t_ms),
+            json_num(self.latency_ms),
+            self.attempts,
+        )
     }
 }

@@ -32,6 +32,15 @@ pub enum ServeError {
     /// A request named a class the service did not bake prover assets
     /// for at startup.
     UnknownClass(String),
+    /// A `ZKPHIRE_SERVE_*` env var is set but does not parse. Surfaced
+    /// as a startup error naming the variable — a typo'd tuning knob
+    /// must not silently degrade to the default.
+    InvalidEnv {
+        /// The offending variable name.
+        var: &'static str,
+        /// Its unparsable value.
+        value: String,
+    },
     /// A service invariant broke (a worker died, a lock was poisoned,
     /// accounting drifted, a proof failed verification). Mirrors
     /// [`SimError::Invariant`].
@@ -53,6 +62,12 @@ impl std::fmt::Display for ServeError {
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::UnknownClass(class) => {
                 write!(f, "no prover assets baked for class {class}")
+            }
+            Self::InvalidEnv { var, value } => {
+                write!(
+                    f,
+                    "env var {var} is set to {value:?}, not a non-negative integer"
+                )
             }
             Self::Invariant(why) => write!(f, "service invariant broke: {why}"),
             Self::Metrics(e) => write!(f, "metrics error: {e}"),

@@ -24,6 +24,20 @@
 //! that check. See `docs/SERVE.md` for the architecture and the
 //! sim-vs-wall methodology.
 //!
+//! The run is observable in wall time as well: with
+//! `zkphire-telemetry`'s `record` feature on, every lifecycle
+//! transition (admission, dispatch, prove, verify, retry parking,
+//! shedding, terminal outcome) records a
+//! [`zkphire_telemetry::WallEvent`]; drain the telemetry profile into a
+//! [`zkphire_telemetry::WallTimeline`] and [`reconcile_wall`] asserts
+//! it agrees with the [`ServeReport`] exactly — outcome counts as
+//! integers, worker busy integrals bitwise. Terminal outcomes can also
+//! stream live through [`ServeConfig::with_outcome_stream`], and
+//! [`ServeReport::dispatch_wakeup_us`] /
+//! [`LoadGenReport::arrival_error_us`] decompose the sim-vs-wall
+//! latency gap into its named contributors. See
+//! `docs/OBSERVABILITY.md`.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -44,9 +58,11 @@
 pub mod error;
 pub mod loadgen;
 pub mod opts;
+pub mod recon;
 pub mod service;
 
 pub use error::ServeError;
 pub use loadgen::{replay, LoadGenReport};
 pub use opts::ServeOpts;
+pub use recon::reconcile_wall;
 pub use service::{ProvingService, ServeConfig, ServeReport};

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use zkphire_fleet::{ArrivalSource, TenantId};
+use zkphire_telemetry::Histogram;
 
 use crate::error::ServeError;
 use crate::service::ProvingService;
@@ -30,6 +31,13 @@ pub struct LoadGenReport {
     pub rejected: u64,
     /// Policy rejections by submitting tenant.
     pub rejected_by_tenant: BTreeMap<TenantId, u64>,
+    /// Achieved-vs-intended arrival error (µs): how late each
+    /// submission left the generator relative to its scaled trace
+    /// timestamp. The loadgen side of the sim-vs-wall gap — the DES
+    /// injects arrivals at exact timestamps; this histogram is what the
+    /// hybrid sleep/spin wait in
+    /// [`ProvingService::sleep_until_ms`] actually achieved.
+    pub arrival_error_us: Histogram,
 }
 
 /// Replays `source` against `service` in real time.
@@ -74,7 +82,11 @@ pub fn replay<S: ArrivalSource>(
         if t > horizon_ms {
             break;
         }
-        service.sleep_until_ms(t * time_scale);
+        let target_ms = t * time_scale;
+        service.sleep_until_ms(target_ms);
+        report
+            .arrival_error_us
+            .record(((service.now_ms() - target_ms).max(0.0) * 1e3) as u64);
         report.submitted += 1;
         match service.submit(class, tenant) {
             Ok(_) => report.accepted += 1,

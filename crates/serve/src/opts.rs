@@ -1,9 +1,11 @@
 //! Environment-tunable service knobs with `available_parallelism`-aware
 //! defaults.
 //!
-//! Every knob reads `ZKPHIRE_SERVE_*` once at [`ServeOpts::from_env`];
-//! unset or unparsable values fall back to the default, so a bad env
-//! var degrades to the baked-in behavior instead of failing startup.
+//! Every knob reads `ZKPHIRE_SERVE_*` once at [`ServeOpts::from_env`].
+//! Unset vars fall back to the default; a var that is *set but does not
+//! parse* is a startup error ([`ServeError::InvalidEnv`]) naming the
+//! variable — a typo'd `ZKPHIRE_SERVE_WORKERS=eight` must not silently
+//! run with the baked-in worker count.
 //!
 //! | env var                       | meaning                          | default                    |
 //! |-------------------------------|----------------------------------|----------------------------|
@@ -11,6 +13,8 @@
 //! | `ZKPHIRE_SERVE_PROVER_THREADS`| SumCheck threads per worker      | `max(1, cores / workers)`  |
 //! | `ZKPHIRE_SERVE_MAX_BATCH`     | max requests per dispatch batch  | `8`                        |
 //! | `ZKPHIRE_SERVE_QUEUE_CAP`     | shared admission queue capacity  | unbounded                  |
+
+use crate::error::ServeError;
 
 /// Execution-shape knobs for [`crate::service::ProvingService`]. These
 /// tune *where the work runs*, not *what the service computes* — proofs
@@ -42,10 +46,28 @@ fn cores() -> usize {
         .unwrap_or(1)
 }
 
-/// `Some(parsed)` when the var is set and parses, else `None`. A set
-/// but malformed var is treated as unset — startup never fails on env.
-fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+/// `Ok(Some(parsed))` when the var is set and parses, `Ok(None)` when
+/// unset, and [`ServeError::InvalidEnv`] naming the variable when set
+/// but malformed. Split from the env read so the failure path is
+/// testable without mutating process env in a threaded test runner.
+fn parse_env_usize(var: &'static str, raw: Option<&str>) -> Result<Option<usize>, ServeError> {
+    match raw {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| ServeError::InvalidEnv {
+                var,
+                value: v.to_string(),
+            }),
+    }
+}
+
+/// Reads and parses one `ZKPHIRE_SERVE_*` var from the process env.
+fn env_usize(var: &'static str) -> Result<Option<usize>, ServeError> {
+    let raw = std::env::var(var).ok();
+    parse_env_usize(var, raw.as_deref())
 }
 
 impl Default for ServeOpts {
@@ -61,25 +83,27 @@ impl Default for ServeOpts {
 }
 
 impl ServeOpts {
-    /// Defaults overridden by any `ZKPHIRE_SERVE_*` env vars set.
-    pub fn from_env() -> Self {
+    /// Defaults overridden by any `ZKPHIRE_SERVE_*` env vars set. A set
+    /// but malformed var fails with [`ServeError::InvalidEnv`] naming
+    /// it, rather than silently degrading to the default.
+    pub fn from_env() -> Result<Self, ServeError> {
         let mut o = Self::default();
-        if let Some(w) = env_usize("ZKPHIRE_SERVE_WORKERS") {
+        if let Some(w) = env_usize("ZKPHIRE_SERVE_WORKERS")? {
             o.workers = w.max(1);
             // Re-derive the per-worker thread budget for the explicit
             // worker count before its own override is consulted.
             o.prover_threads = (cores() / o.workers).max(1);
         }
-        if let Some(t) = env_usize("ZKPHIRE_SERVE_PROVER_THREADS") {
+        if let Some(t) = env_usize("ZKPHIRE_SERVE_PROVER_THREADS")? {
             o.prover_threads = t.max(1);
         }
-        if let Some(b) = env_usize("ZKPHIRE_SERVE_MAX_BATCH") {
+        if let Some(b) = env_usize("ZKPHIRE_SERVE_MAX_BATCH")? {
             o.max_batch = b.max(1);
         }
-        if let Some(c) = env_usize("ZKPHIRE_SERVE_QUEUE_CAP") {
+        if let Some(c) = env_usize("ZKPHIRE_SERVE_QUEUE_CAP")? {
             o.queue_capacity = Some(c);
         }
-        o
+        Ok(o)
     }
 
     /// Sets the worker count (builder style).
@@ -135,10 +159,48 @@ mod tests {
     }
 
     #[test]
-    fn env_parsing_ignores_garbage() {
-        // Malformed values fall back to defaults rather than failing:
-        // exercised through the parser helper to avoid mutating process
-        // env in a threaded test runner.
-        assert_eq!(env_usize("ZKPHIRE_SERVE_SURELY_UNSET_VAR"), None);
+    fn unset_vars_fall_back_to_defaults() {
+        assert_eq!(parse_env_usize("ZKPHIRE_SERVE_WORKERS", None), Ok(None));
+        // from_env against the real (clean) env parses to the defaults.
+        if std::env::var_os("ZKPHIRE_SERVE_WORKERS").is_none() {
+            assert!(ServeOpts::from_env().is_ok());
+        }
+    }
+
+    #[test]
+    fn set_vars_parse_with_whitespace_tolerance() {
+        assert_eq!(
+            parse_env_usize("ZKPHIRE_SERVE_MAX_BATCH", Some(" 16 ")),
+            Ok(Some(16))
+        );
+        assert_eq!(
+            parse_env_usize("ZKPHIRE_SERVE_QUEUE_CAP", Some("0")),
+            Ok(Some(0))
+        );
+    }
+
+    #[test]
+    fn malformed_vars_fail_naming_the_variable() {
+        for (var, bad) in [
+            ("ZKPHIRE_SERVE_WORKERS", "eight"),
+            ("ZKPHIRE_SERVE_PROVER_THREADS", "2.5"),
+            ("ZKPHIRE_SERVE_MAX_BATCH", "-1"),
+            ("ZKPHIRE_SERVE_QUEUE_CAP", ""),
+        ] {
+            let err = parse_env_usize(var, Some(bad)).expect_err("malformed must fail");
+            assert_eq!(
+                err,
+                ServeError::InvalidEnv {
+                    var,
+                    value: bad.to_string()
+                }
+            );
+            let msg = err.to_string();
+            assert!(msg.contains(var), "message names the variable: {msg}");
+            assert!(
+                msg.contains(&format!("{bad:?}")),
+                "message quotes the value: {msg}"
+            );
+        }
     }
 }

@@ -35,13 +35,14 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkphire_fleet::{
-    try_summarize, BatchPolicy, BrownOutConfig, FleetSummary, PolicyKind, Request, RequestClass,
-    RequestRecord, RetryPolicy, RunAccumulators, SplitMix64, TenantId,
+    try_summarize, BatchPolicy, BrownOutConfig, FleetSummary, Outcome, OutcomeRecord, PolicyKind,
+    Request, RequestClass, RequestRecord, RetryPolicy, RunAccumulators, SplitMix64, TenantId,
 };
 use zkphire_hyperplonk::{
     prove_with_config, setup, verify, Circuit, GateSystem, ProverConfig, ProvingKey, VerifyingKey,
     Witness,
 };
+use zkphire_telemetry::{wall_event, Histogram, WallEventKind};
 use zkphire_transcript::Transcript;
 
 use crate::error::ServeError;
@@ -101,12 +102,20 @@ pub struct ServeConfig {
     pub active_fraction: f64,
     /// Execution-shape knobs (worker count, threads, batch, queue cap).
     pub opts: ServeOpts,
+    /// Streaming outcome sink: every terminal outcome (completed,
+    /// rejected, shed, lost) is sent here the moment it resolves, as an
+    /// [`OutcomeRecord`] — live visibility without waiting for drain.
+    /// `None` (the default) streams nothing; a hung-up receiver is
+    /// ignored, never an error.
+    pub outcome_tx: Option<Sender<OutcomeRecord>>,
 }
 
 impl ServeConfig {
     /// A sensible default deployment over `classes`: size-class
     /// batching, deadlines at 5× calibrated latency + 50 ms, no
-    /// resilience machinery, env-tuned execution shape.
+    /// resilience machinery, `available_parallelism`-derived execution
+    /// shape. Apply [`ServeOpts::from_env`] explicitly (it can fail on
+    /// malformed vars) to honor `ZKPHIRE_SERVE_*` overrides.
     pub fn new(classes: Vec<RequestClass>) -> Self {
         Self {
             classes,
@@ -122,7 +131,8 @@ impl ServeConfig {
             fail_batches: Vec::new(),
             seed: 0,
             active_fraction: 0.5,
-            opts: ServeOpts::from_env(),
+            opts: ServeOpts::default(),
+            outcome_tx: None,
         }
     }
 
@@ -181,6 +191,14 @@ impl ServeConfig {
         self
     }
 
+    /// Streams every terminal outcome to `tx` as it resolves (builder
+    /// style). Pair with a collector thread writing
+    /// [`OutcomeRecord::to_jsonl_line`] for a live JSONL feed.
+    pub fn with_outcome_stream(mut self, tx: Sender<OutcomeRecord>) -> Self {
+        self.outcome_tx = Some(tx);
+        self
+    }
+
     /// The queued-request cap admission enforces for `tenant` — same
     /// resolution rule as [`zkphire_fleet::FleetConfig::tenant_cap`].
     pub fn tenant_cap(&self, tenant: TenantId) -> Option<usize> {
@@ -207,6 +225,12 @@ pub struct ServeReport {
     /// [`zkphire_core::costdb::CostModel`] to make the DES predict this
     /// service's wall clock.
     pub calibration: Vec<(RequestClass, f64)>,
+    /// Dispatch wakeup latency (µs): submission → the dispatcher thread
+    /// picking the job off the control channel. One of the named
+    /// contributors to the sim-vs-wall latency gap — the DES dispatches
+    /// at the exact event timestamp; the live dispatcher has to wake up
+    /// first.
+    pub dispatch_wakeup_us: Histogram,
 }
 
 /// Baked prover state for one request class: a satisfied random circuit
@@ -250,6 +274,15 @@ impl Inner {
         self.admission
             .lock()
             .map_err(|_| ServeError::Invariant("admission lock poisoned".into()))
+    }
+
+    /// Streams a terminal outcome if a sink is configured. A hung-up
+    /// receiver means the consumer stopped listening — not a service
+    /// fault.
+    fn stream_outcome(&self, rec: OutcomeRecord) {
+        if let Some(tx) = &self.cfg.outcome_tx {
+            let _ = tx.send(rec);
+        }
     }
 }
 
@@ -313,6 +346,7 @@ struct DispatcherOut {
     chip_repairs: u64,
     makespan_ms: f64,
     invariant: Option<String>,
+    dispatch_wakeup_us: Histogram,
 }
 
 /// The live proving front-end. Construct with [`ProvingService::start`],
@@ -450,15 +484,50 @@ impl ProvingService {
             .collect()
     }
 
+    /// Wall-clock ms since the service started — the clock every
+    /// request record and timeline payload is stated in.
+    pub fn now_ms(&self) -> f64 {
+        self.inner.now_ms()
+    }
+
     /// Blocks the caller until the service clock reaches `target_ms`
     /// (wall-clock ms since the service started); returns immediately
     /// if that moment already passed. The load generator paces trace
     /// replay with this so arrivals land at their recorded offsets.
+    ///
+    /// Hybrid wait: a coarse `thread::sleep` covers all but the final
+    /// ~1.5 ms, then the thread spins the remainder. A bare sleep
+    /// overshoots by the OS scheduler quantum — milliseconds on a busy
+    /// box — which smears sub-millisecond inter-arrival gaps and was
+    /// one of the two named contributors to the sim-vs-wall p99 gap.
     pub fn sleep_until_ms(&self, target_ms: f64) {
-        let now = self.inner.now_ms();
-        if target_ms.is_finite() && target_ms > now {
-            std::thread::sleep(Duration::from_secs_f64((target_ms - now) / 1e3));
+        if !target_ms.is_finite() {
+            return;
         }
+        // Stay asleep until within the spin margin of the target.
+        const SPIN_MARGIN_MS: f64 = 1.5;
+        let remaining = target_ms - self.inner.now_ms();
+        if remaining > SPIN_MARGIN_MS {
+            std::thread::sleep(Duration::from_secs_f64((remaining - SPIN_MARGIN_MS) / 1e3));
+        }
+        while self.inner.now_ms() < target_ms {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Records and streams an admission rejection — a terminal outcome.
+    fn note_rejection(&self, id: u64, class: RequestClass, tenant: TenantId) {
+        let t_ms = self.inner.now_ms();
+        wall_event(WallEventKind::Rejected, id, u64::from(tenant), 0, t_ms, 0.0);
+        self.inner.stream_outcome(OutcomeRecord {
+            id,
+            tenant,
+            class,
+            outcome: Outcome::Rejected,
+            t_ms,
+            latency_ms: 0.0,
+            attempts: 0,
+        });
     }
 
     /// Submits one proof request. Admission runs synchronously under
@@ -482,10 +551,16 @@ impl ProvingService {
                 return Err(ServeError::ShuttingDown);
             }
             adm.arrivals += 1;
+            // Ids are assigned to *every* arrival, rejected ones
+            // included — the DES numbers arrivals the same way, so the
+            // two sides agree on which id each trace entry got.
+            let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
             if let Some(cap) = self.inner.cfg.tenant_cap(tenant) {
                 if adm.queued_by_tenant.get(&tenant).copied().unwrap_or(0) >= cap {
                     adm.rejected += 1;
                     *adm.rejected_by_tenant.entry(tenant).or_insert(0) += 1;
+                    drop(adm);
+                    self.note_rejection(id, class, tenant);
                     return Err(ServeError::TenantCapExceeded { tenant, cap });
                 }
             }
@@ -493,6 +568,8 @@ impl ProvingService {
                 if adm.queued_total >= capacity {
                     adm.rejected += 1;
                     *adm.rejected_by_tenant.entry(tenant).or_insert(0) += 1;
+                    drop(adm);
+                    self.note_rejection(id, class, tenant);
                     return Err(ServeError::QueueFull { capacity });
                 }
             }
@@ -500,7 +577,7 @@ impl ProvingService {
             *adm.queued_by_tenant.entry(tenant).or_insert(0) += 1;
             let now = self.inner.now_ms();
             Request {
-                id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+                id,
                 tenant,
                 class,
                 arrival_ms: now,
@@ -511,6 +588,14 @@ impl ProvingService {
             }
         };
         let id = req.id;
+        wall_event(
+            WallEventKind::Admitted,
+            id,
+            u64::from(tenant),
+            0,
+            req.arrival_ms,
+            0.0,
+        );
         self.ctrl_tx
             .send(Ctrl::Job(req))
             .map_err(|_| ServeError::Invariant("dispatcher is gone".into()))?;
@@ -574,6 +659,7 @@ impl ProvingService {
                 .iter()
                 .map(|(&c, &ms)| (c, ms))
                 .collect(),
+            dispatch_wakeup_us: out.dispatch_wakeup_us,
         })
     }
 }
@@ -621,13 +707,47 @@ fn worker_loop(
                 });
                 break;
             };
+            wall_event(
+                WallEventKind::ProveBegin,
+                r.id,
+                u64::from(r.tenant),
+                idx as u64,
+                inner.now_ms(),
+                0.0,
+            );
             let proof = prove_with_config(
                 &a.pk,
                 &a.witness,
                 &mut Transcript::new(DOMAIN),
                 ProverConfig { threads },
             );
-            if verify(&a.vk, &proof, &mut Transcript::new(DOMAIN)).is_err() {
+            let prove_done = inner.now_ms();
+            wall_event(
+                WallEventKind::ProveEnd,
+                r.id,
+                u64::from(r.tenant),
+                idx as u64,
+                prove_done,
+                0.0,
+            );
+            wall_event(
+                WallEventKind::VerifyBegin,
+                r.id,
+                u64::from(r.tenant),
+                idx as u64,
+                prove_done,
+                0.0,
+            );
+            let ok = verify(&a.vk, &proof, &mut Transcript::new(DOMAIN)).is_ok();
+            wall_event(
+                WallEventKind::VerifyEnd,
+                r.id,
+                u64::from(r.tenant),
+                idx as u64,
+                inner.now_ms(),
+                0.0,
+            );
+            if !ok {
                 verified = false;
                 let _ = ctrl.send(Ctrl::ProofRejected {
                     worker: idx,
@@ -678,6 +798,10 @@ struct Dispatcher<'a> {
     out: DispatcherOut,
     draining: bool,
     last_tick_ms: f64,
+    /// Last sampled queue depth / busy-worker count, so the timeline's
+    /// series only record changes, not every loop heartbeat.
+    last_depth: usize,
+    last_in_flight: usize,
 }
 
 /// The dispatcher thread: owns the batching queue and the worker pool's
@@ -717,9 +841,12 @@ fn dispatcher_loop(
             chip_repairs: 0,
             makespan_ms: 0.0,
             invariant: None,
+            dispatch_wakeup_us: Histogram::default(),
         },
         draining: false,
         last_tick_ms: 0.0,
+        last_depth: 0,
+        last_in_flight: 0,
     };
     loop {
         let timeout = d.next_timeout();
@@ -737,6 +864,13 @@ fn dispatcher_loop(
         d.tick(now);
         let effectful = match msg {
             Some(Ctrl::Job(req)) => {
+                // Submission → this wakeup is pure dispatcher latency
+                // the DES does not model (it dispatches at the event's
+                // exact timestamp) — one of the two named contributors
+                // to the sim-vs-wall p99 gap.
+                d.out
+                    .dispatch_wakeup_us
+                    .record(((now - req.arrival_ms).max(0.0) * 1e3) as u64);
                 d.policy.push(req);
                 d.out.max_queue_depth = d.out.max_queue_depth.max(d.policy.depth());
                 true
@@ -765,6 +899,7 @@ fn dispatcher_loop(
         d.wake_parked(now);
         d.shed_if_browned_out(now);
         d.try_dispatch(now);
+        d.sample_series();
         if d.draining && d.drained() {
             break;
         }
@@ -816,8 +951,38 @@ impl Dispatcher<'_> {
         };
         w.status = WorkerStatus::Idle;
         if let (Some(first), Some(last)) = (records.first(), records.last()) {
+            // The WorkerBusy event carries the exact operands of this
+            // += so the timeline's replay is bitwise-identical to the
+            // accumulator the summary's utilization divides.
+            wall_event(
+                WallEventKind::WorkerBusy,
+                0,
+                0,
+                worker as u64,
+                first.start_ms,
+                last.finish_ms,
+            );
             w.busy_ms += last.finish_ms - first.start_ms;
             self.out.makespan_ms = self.out.makespan_ms.max(last.finish_ms);
+        }
+        for r in &records {
+            wall_event(
+                WallEventKind::Completed,
+                r.id,
+                u64::from(r.tenant),
+                worker as u64,
+                r.finish_ms,
+                r.latency_ms(),
+            );
+            self.inner.stream_outcome(OutcomeRecord {
+                id: r.id,
+                tenant: r.tenant,
+                class: r.class,
+                outcome: Outcome::Completed,
+                t_ms: r.finish_ms,
+                latency_ms: r.latency_ms(),
+                attempts: r.attempts,
+            });
         }
         self.out.records.extend(records);
         true
@@ -832,6 +997,14 @@ impl Dispatcher<'_> {
             until_ms: now + self.inner.cfg.repair_ms,
         };
         self.out.chip_failures += 1;
+        wall_event(
+            WallEventKind::WorkerRepairBegin,
+            0,
+            0,
+            worker as u64,
+            now,
+            now + self.inner.cfg.repair_ms,
+        );
         for r in batch {
             self.route_retry_or_lost(r, now);
         }
@@ -839,11 +1012,12 @@ impl Dispatcher<'_> {
     }
 
     fn repair_workers(&mut self, now: f64) {
-        for w in &mut self.workers {
+        for (i, w) in self.workers.iter_mut().enumerate() {
             if let WorkerStatus::Repairing { until_ms } = w.status {
                 if until_ms <= now {
                     w.status = WorkerStatus::Idle;
                     self.out.chip_repairs += 1;
+                    wall_event(WallEventKind::WorkerRepairEnd, 0, 0, i as u64, now, 0.0);
                 }
             }
         }
@@ -857,11 +1031,36 @@ impl Dispatcher<'_> {
                 req.attempts += 1;
                 self.out.retries += 1;
                 let backoff = p.backoff_ms(req.attempts, &mut self.retry_rng);
+                wall_event(
+                    WallEventKind::RetryParked,
+                    req.id,
+                    u64::from(req.tenant),
+                    u64::from(req.attempts),
+                    now + backoff,
+                    0.0,
+                );
                 self.parked.insert(req.id, (req, now + backoff));
             }
             _ => {
                 self.out.lost += 1;
                 *self.out.lost_by_tenant.entry(req.tenant).or_insert(0) += 1;
+                wall_event(
+                    WallEventKind::Lost,
+                    req.id,
+                    u64::from(req.tenant),
+                    u64::from(req.attempts),
+                    now,
+                    0.0,
+                );
+                self.inner.stream_outcome(OutcomeRecord {
+                    id: req.id,
+                    tenant: req.tenant,
+                    class: req.class,
+                    outcome: Outcome::Lost,
+                    t_ms: now,
+                    latency_ms: 0.0,
+                    attempts: req.attempts,
+                });
             }
         }
     }
@@ -903,6 +1102,14 @@ impl Dispatcher<'_> {
                 }
             };
             if admitted {
+                wall_event(
+                    WallEventKind::RetryAdmitted,
+                    req.id,
+                    u64::from(req.tenant),
+                    u64::from(req.attempts),
+                    now,
+                    0.0,
+                );
                 let base = self
                     .inner
                     .expected_ms
@@ -914,6 +1121,14 @@ impl Dispatcher<'_> {
                 self.policy.push(req);
                 self.out.max_queue_depth = self.out.max_queue_depth.max(self.policy.depth());
             } else {
+                wall_event(
+                    WallEventKind::RetryRejected,
+                    req.id,
+                    u64::from(req.tenant),
+                    u64::from(req.attempts),
+                    now,
+                    0.0,
+                );
                 self.route_retry_or_lost(req, now);
             }
         }
@@ -962,6 +1177,23 @@ impl Dispatcher<'_> {
             self.out.shed += 1;
             *self.out.shed_by_tenant.entry(v.tenant).or_insert(0) += 1;
             self.out.makespan_ms = self.out.makespan_ms.max(now);
+            wall_event(
+                WallEventKind::Shed,
+                v.id,
+                u64::from(v.tenant),
+                u64::from(v.attempts),
+                now,
+                0.0,
+            );
+            self.inner.stream_outcome(OutcomeRecord {
+                id: v.id,
+                tenant: v.tenant,
+                class: v.class,
+                outcome: Outcome::Shed,
+                t_ms: now,
+                latency_ms: 0.0,
+                attempts: v.attempts,
+            });
         }
     }
 
@@ -1004,6 +1236,16 @@ impl Dispatcher<'_> {
                 return;
             };
             w.status = WorkerStatus::Busy;
+            for r in &live {
+                wall_event(
+                    WallEventKind::Dispatched,
+                    r.id,
+                    u64::from(r.tenant),
+                    idx as u64,
+                    now,
+                    0.0,
+                );
+            }
             if w.tx
                 .send(Work::Batch {
                     reqs: live,
@@ -1015,6 +1257,26 @@ impl Dispatcher<'_> {
                 self.note_invariant(format!("worker {idx} hung up"));
                 return;
             }
+        }
+    }
+
+    /// Samples the queue-depth and in-flight series into the wall
+    /// timeline — on change only, so a quiet heartbeat loop records
+    /// nothing.
+    fn sample_series(&mut self) {
+        let depth = self.policy.depth();
+        if depth != self.last_depth {
+            self.last_depth = depth;
+            wall_event(WallEventKind::QueueDepth, 0, 0, depth as u64, 0.0, 0.0);
+        }
+        let in_flight = self
+            .workers
+            .iter()
+            .filter(|w| w.status == WorkerStatus::Busy)
+            .count();
+        if in_flight != self.last_in_flight {
+            self.last_in_flight = in_flight;
+            wall_event(WallEventKind::InFlight, 0, 0, in_flight as u64, 0.0, 0.0);
         }
     }
 

@@ -1,7 +1,7 @@
 //! # zkphire-telemetry
 //!
 //! Deterministic tracing, profiling hooks, and timeline export for the
-//! zkPHIRE prover and fleet. Two recorders, two time domains:
+//! zkPHIRE prover and fleet. Three recorders, two time domains:
 //!
 //! 1. **Wall-clock profiler** ([`span`] / [`counter_add`] /
 //!    [`hist_record`]): ambient instrumentation for the prover hot
@@ -15,6 +15,13 @@
 //!    deterministic simulated time, so traces are byte-identical per
 //!    seed and reconcile *bitwise* with the simulator's own metrics
 //!    (see the module docs in [`timeline`]).
+//! 3. **Wall-clock timeline** ([`WallTimeline`]): the live proving
+//!    service's counterpart to the sim timeline. Lifecycle hooks
+//!    ([`wall_event`]) ride the same feature-gated thread-local buffers
+//!    as the profiler; the drained events rebuild into per-request
+//!    lifecycle phases, per-worker busy spans, and queue-depth series
+//!    that reconcile with the service's own drain summary (see the
+//!    module docs in [`wall`]).
 //!
 //! Plus [`CountingAlloc`], a counting global allocator for the prover's
 //! allocation counter (active only while recording).
@@ -26,13 +33,15 @@ pub mod alloc;
 pub mod profile;
 pub mod timeline;
 pub mod trace;
+pub mod wall;
 
 pub use alloc::{alloc_counts, reset_alloc_counts, CountingAlloc};
 pub use profile::{
-    counter_add, drain, hist_merge, hist_record, is_enabled, reset, set_enabled, span, Histogram,
-    Profile, Span, SpanRecord,
+    counter_add, drain, hist_merge, hist_record, is_enabled, reset, set_enabled, span, wall_event,
+    Histogram, Profile, Span, SpanRecord,
 };
 pub use timeline::{
     AdmissionEvent, AdmissionOutcome, ChipPhase, ChipSpan, SeriesPoint, SimTimeline,
 };
 pub use trace::{escape_json, json_num, profile_to_chrome, profile_to_jsonl, ChromeTrace};
+pub use wall::{Outcome, WallEvent, WallEventKind, WallTimeline};

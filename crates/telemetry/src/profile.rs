@@ -29,6 +29,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::wall::{WallEvent, WallEventKind};
+
 /// One finished span: a named wall-clock interval on one thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -131,6 +133,12 @@ pub struct Profile {
     pub counters: BTreeMap<&'static str, u64>,
     /// Named histograms, merged across threads.
     pub hists: BTreeMap<&'static str, Histogram>,
+    /// Wall events from [`wall_event`] hooks (the live service's
+    /// request-lifecycle stream), sorted by `(t_ns, tid, seq)` at drain
+    /// — a deterministic order that preserves each thread's record
+    /// sequence. Feed them to
+    /// [`crate::wall::WallTimeline::from_events`].
+    pub wall_events: Vec<WallEvent>,
 }
 
 impl Profile {
@@ -215,10 +223,10 @@ impl Profile {
 
 #[cfg(feature = "record")]
 mod recorder {
-    use super::{Histogram, Profile, SpanRecord};
+    use super::{Histogram, Profile, SpanRecord, WallEvent, WallEventKind};
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
     use std::time::Instant;
 
     /// Flush a thread's span buffer into the sink at this many records.
@@ -233,6 +241,7 @@ mod recorder {
         spans: Vec<SpanRecord>,
         counters: Vec<(&'static str, u64)>,
         hists: Vec<(&'static str, Histogram)>,
+        walls: Vec<WallEvent>,
         next_tid: u32,
         /// Thread-locals registered under the current epoch whose final
         /// (destructor) flush has not landed yet. `drain` waits for this
@@ -250,10 +259,19 @@ mod recorder {
                 spans: Vec::new(),
                 counters: Vec::new(),
                 hists: Vec::new(),
+                walls: Vec::new(),
                 next_tid: 0,
                 live_locals: 0,
             })
         })
+    }
+
+    /// The sink mutex guards plain data with no invariants that a
+    /// panicking holder could break mid-update, so a poisoned lock is
+    /// recovered rather than propagated — the telemetry layer must
+    /// never take the instrumented program down.
+    fn sink_lock() -> MutexGuard<'static, Sink> {
+        sink().lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn clock() -> &'static Instant {
@@ -269,20 +287,29 @@ mod recorder {
         epoch: u64,
         tid: u32,
         depth: u32,
+        /// Per-thread wall-event sequence number (record order within
+        /// this thread, preserved by the drain sort's tie-break).
+        seq: u64,
         spans: Vec<SpanRecord>,
         counters: Vec<(&'static str, u64)>,
         hists: Vec<(&'static str, Histogram)>,
+        walls: Vec<WallEvent>,
     }
 
     impl Local {
         fn flush(&mut self) {
-            if self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+            if self.spans.is_empty()
+                && self.counters.is_empty()
+                && self.hists.is_empty()
+                && self.walls.is_empty()
+            {
                 return;
             }
             // One lock per flush (≥ FLUSH_AT events or thread exit),
             // never per event.
-            let mut sink = sink().lock().expect("telemetry sink poisoned");
+            let mut sink = sink_lock();
             sink.spans.append(&mut self.spans);
+            sink.walls.append(&mut self.walls);
             for (name, v) in self.counters.drain(..) {
                 match sink.counters.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, total)) => *total += v,
@@ -308,7 +335,7 @@ mod recorder {
             // Deregister, re-checking the epoch under the sink lock: if a
             // reset slipped in after the flush above, the new epoch's
             // count does not include this local and must not be touched.
-            let mut sink = sink().lock().expect("telemetry sink poisoned");
+            let mut sink = sink_lock();
             if self.epoch == EPOCH.load(Ordering::Relaxed) {
                 sink.live_locals = sink.live_locals.saturating_sub(1);
             }
@@ -325,29 +352,35 @@ mod recorder {
         LOCAL.with(|cell| {
             let mut slot = cell.borrow_mut();
             let epoch = EPOCH.load(Ordering::Relaxed);
-            let stale = slot.as_ref().is_some_and(|l| l.epoch != epoch);
-            if slot.is_none() || stale {
+            if slot.as_ref().is_some_and(|l| l.epoch != epoch) {
+                // Stale epoch: discard the old local (its Drop sees the
+                // mismatch and flushes nothing) and re-register below.
+                *slot = None;
+            }
+            let local = slot.get_or_insert_with(|| {
                 // Epoch is re-read under the sink lock (reset bumps it
                 // under the same lock), so the live_locals increment is
                 // always attributed to the epoch it was counted under.
                 let (tid, epoch) = {
-                    let mut sink = sink().lock().expect("telemetry sink poisoned");
+                    let mut sink = sink_lock();
                     let epoch = EPOCH.load(Ordering::Relaxed);
                     let tid = sink.next_tid;
                     sink.next_tid += 1;
                     sink.live_locals += 1;
                     (tid, epoch)
                 };
-                *slot = Some(Local {
+                Local {
                     epoch,
                     tid,
                     depth: 0,
+                    seq: 0,
                     spans: Vec::with_capacity(FLUSH_AT),
                     counters: Vec::new(),
                     hists: Vec::new(),
-                });
-            }
-            f(slot.as_mut().expect("just initialized"))
+                    walls: Vec::new(),
+                }
+            });
+            f(local)
         })
     }
 
@@ -412,10 +445,38 @@ mod recorder {
         });
     }
 
+    pub fn wall_event(kind: WallEventKind, id: u64, tenant: u64, arg: u64, a: f64, b: f64) {
+        let t_ns = now_ns();
+        with_local(|l| {
+            // The buffer is reserved on a thread's first wall event, not
+            // at registration: prover threads that only record spans
+            // never pay for it.
+            if l.walls.capacity() == 0 {
+                l.walls.reserve(FLUSH_AT);
+            }
+            let seq = l.seq;
+            l.seq += 1;
+            l.walls.push(WallEvent {
+                t_ns,
+                seq,
+                tid: l.tid,
+                kind,
+                id,
+                tenant,
+                arg,
+                a,
+                b,
+            });
+            if l.walls.len() >= FLUSH_AT {
+                l.flush();
+            }
+        });
+    }
+
     /// Discards everything recorded so far and starts a fresh epoch.
     /// Must not be called while spans are open.
     pub fn reset() {
-        let mut sink = sink().lock().expect("telemetry sink poisoned");
+        let mut sink = sink_lock();
         // Bumped under the sink lock so registration (which re-reads the
         // epoch under the same lock) cannot count a live local against
         // the wrong epoch.
@@ -423,6 +484,7 @@ mod recorder {
         sink.spans.clear();
         sink.counters.clear();
         sink.hists.clear();
+        sink.walls.clear();
         sink.next_tid = 0;
         sink.live_locals = 0;
         drop(sink);
@@ -447,7 +509,7 @@ mod recorder {
         let deadline = Instant::now() + std::time::Duration::from_secs(1);
         loop {
             let outstanding = {
-                let sink = sink().lock().expect("telemetry sink poisoned");
+                let sink = sink_lock();
                 sink.live_locals
             };
             if outstanding <= 1 || Instant::now() >= deadline {
@@ -455,17 +517,22 @@ mod recorder {
             }
             std::thread::yield_now();
         }
-        let mut sink = sink().lock().expect("telemetry sink poisoned");
+        let mut sink = sink_lock();
         let mut profile = Profile {
             spans: std::mem::take(&mut sink.spans),
             counters: sink.counters.drain(..).collect(),
             hists: sink.hists.drain(..).collect(),
+            wall_events: std::mem::take(&mut sink.walls),
         };
         // Flush order depends on thread scheduling; name-major sort
         // restores a deterministic order within each (tid, start) line.
         profile
             .spans
             .sort_by(|a, b| (a.tid, a.start_ns, b.dur_ns).cmp(&(b.tid, b.start_ns, a.dur_ns)));
+        // Wall events carry a per-thread sequence number, so the sort
+        // is total: concurrent same-nanosecond stamps settle by (tid,
+        // seq) and a rebuilt timeline is deterministic per run.
+        profile.wall_events.sort_by_key(|e| (e.t_ns, e.tid, e.seq));
         profile
     }
 }
@@ -567,6 +634,23 @@ pub fn hist_merge(name: &'static str, hist: &Histogram) {
     }
 }
 
+/// Records a wall-clock lifecycle event (no-op when recording is off).
+/// Stamped from the shared monotonic epoch on the calling thread's
+/// lock-free buffer; the drained [`Profile`] carries the events sorted
+/// by `(t_ns, tid, seq)` so a rebuilt
+/// [`WallTimeline`](crate::WallTimeline) is deterministic per run.
+#[inline]
+pub fn wall_event(kind: WallEventKind, id: u64, tenant: u64, arg: u64, a: f64, b: f64) {
+    #[cfg(feature = "record")]
+    if recorder::is_enabled() {
+        recorder::wall_event(kind, id, tenant, arg, a, b);
+    }
+    #[cfg(not(feature = "record"))]
+    {
+        let _ = (kind, id, tenant, arg, a, b);
+    }
+}
+
 /// Turns runtime recording on or off. Without the `record` feature this
 /// does nothing and [`is_enabled`] stays `false`.
 pub fn set_enabled(on: bool) {
@@ -647,11 +731,13 @@ mod tests {
         let _s = span("noop");
         counter_add("noop", 1);
         hist_record("noop", 1);
+        wall_event(WallEventKind::Admitted, 0, 0, 0, 0.0, 0.0);
         drop(_s);
         let p = drain();
         assert!(p.spans.is_empty());
         assert!(p.counters.is_empty());
         assert!(p.hists.is_empty());
+        assert!(p.wall_events.is_empty());
     }
 
     /// The recorder is process-global and the harness runs tests on
@@ -719,6 +805,45 @@ mod tests {
         assert_eq!(p.counter("work"), 3);
         assert_eq!(p.hists["vals"].count, 3);
         p.check_well_formed().expect("well-formed");
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn wall_events_drain_sorted_and_keep_per_thread_order() {
+        let _guard = session_guard();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for t in 0..3u64 {
+                scope.spawn(move || {
+                    for i in 0..5u64 {
+                        wall_event(WallEventKind::Dispatched, t * 10 + i, t, 0, 0.0, 0.0);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.wall_events.len(), 15);
+        assert!(p
+            .wall_events
+            .windows(2)
+            .all(|w| (w[0].t_ns, w[0].tid, w[0].seq) <= (w[1].t_ns, w[1].tid, w[1].seq)));
+        // Per-thread record order survives the global sort: monotonic
+        // stamps within one thread are nondecreasing and seq breaks
+        // same-nanosecond ties.
+        let tids: std::collections::BTreeSet<u32> = p.wall_events.iter().map(|e| e.tid).collect();
+        for tid in tids {
+            let ids: Vec<u64> = p
+                .wall_events
+                .iter()
+                .filter(|e| e.tid == tid)
+                .map(|e| e.id)
+                .collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "per-thread order preserved for tid {tid}");
+        }
     }
 
     #[cfg(feature = "record")]

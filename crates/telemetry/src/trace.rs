@@ -103,6 +103,39 @@ impl ChromeTrace {
         ));
     }
 
+    /// Opens an async (`ph:"b"`) interval. Async events pair by
+    /// `(cat, id)` across tracks, so Perfetto renders one lane per id —
+    /// the natural shape for a request lifecycle that hops threads.
+    pub fn async_begin(
+        &mut self,
+        name: &str,
+        cat: &str,
+        id: u64,
+        ts_us: f64,
+        args: &[(&str, String)],
+    ) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":{},\"ts\":{},\"pid\":1,\"tid\":0{}}}",
+            escape_json(name),
+            escape_json(cat),
+            id,
+            json_num(ts_us),
+            render_args(args),
+        ));
+    }
+
+    /// Closes the async (`ph:"e"`) interval opened by [`Self::async_begin`]
+    /// with the same `(name, cat, id)`.
+    pub fn async_end(&mut self, name: &str, cat: &str, id: u64, ts_us: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":{},\"ts\":{},\"pid\":1,\"tid\":0}}",
+            escape_json(name),
+            escape_json(cat),
+            id,
+            json_num(ts_us),
+        ));
+    }
+
     /// Names a track (`ph:"M"` thread_name metadata).
     pub fn thread_name(&mut self, tid: u32, name: &str) {
         self.events.push(format!(
@@ -228,6 +261,8 @@ mod tests {
         t.complete("busy", "fleet", 0.0, 1500.0, 0, &[("batch", "4".into())]);
         t.counter("queue_depth", 10.0, 3.0);
         t.instant("admit", 5.0, 1, &[]);
+        t.async_begin("req 3", "request", 3, 2.0, &[("tenant", "0".into())]);
+        t.async_end("req 3", "request", 3, 9.0);
         let doc = t.finish();
         assert!(doc.starts_with("{\"traceEvents\":["));
         assert!(doc.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
@@ -235,6 +270,9 @@ mod tests {
         assert!(doc.contains("\"ph\":\"C\""));
         assert!(doc.contains("\"ph\":\"i\""));
         assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"ph\":\"b\""));
+        assert!(doc.contains("\"ph\":\"e\""));
+        assert!(doc.contains("\"id\":3"));
         assert!(doc.contains("\"args\":{\"batch\":4}"));
     }
 

@@ -37,7 +37,13 @@ fn main() {
     println!("class {class}: real HyperPlonk proofs, verified per request\n");
 
     // 1. Start: bake assets, calibrate, spin up the pool.
-    let opts = ServeOpts::from_env().with_max_batch(4);
+    let opts = match ServeOpts::from_env() {
+        Ok(o) => o.with_max_batch(4),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let workers = opts.workers;
     let cfg = ServeConfig::new(vec![class])
         .with_policy(PolicyKind::WeightedFair)

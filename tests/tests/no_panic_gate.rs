@@ -1,12 +1,15 @@
-//! Source gate: the fleet engine and the serve front-end hold a
-//! no-panic contract on their non-test code — anything that can go
-//! wrong comes back as a typed error (`SimError`, `ServeError`), never
-//! an `.expect(...)` / `.unwrap()` panic that takes a simulation or the
-//! live service down.
+//! Source gate: the fleet engine, the serve front-end, and the
+//! telemetry layer hold a no-panic contract on their non-test code —
+//! anything that can go wrong comes back as a typed error (`SimError`,
+//! `ServeError`) or degrades silently (a recorder must never take the
+//! code it observes down), never an `.expect(...)` / `.unwrap()` panic
+//! that kills a simulation, the live service, or an instrumented
+//! prover thread.
 //!
-//! This scan is the enforcement: it walks `crates/fleet/src` and
-//! `crates/serve/src`, strips test modules and comments, and fails on
-//! any surviving `.expect(` or `.unwrap()`. Explicit
+//! This scan is the enforcement: it walks `crates/fleet/src`,
+//! `crates/serve/src`, and `crates/telemetry/src`, strips test modules
+//! and comments, and fails on any surviving `.expect(` or
+//! `.unwrap()`. Explicit
 //! `panic!`/`assert!` builder validations and the documented panicking
 //! *wrappers* (`EventQueue::push` over `try_push`) are allowed — the
 //! contract bans the implicit panics, where the error message says
@@ -50,12 +53,16 @@ fn scan_dir(dir: &Path, violations: &mut Vec<String>) {
 }
 
 #[test]
-fn fleet_and_serve_sources_never_panic_implicitly() {
+fn fleet_serve_and_telemetry_sources_never_panic_implicitly() {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .expect("tests crate lives one level below the workspace root");
     let mut violations = Vec::new();
-    for crate_src in ["crates/fleet/src", "crates/serve/src"] {
+    for crate_src in [
+        "crates/fleet/src",
+        "crates/serve/src",
+        "crates/telemetry/src",
+    ] {
         let dir = repo_root.join(crate_src);
         assert!(dir.is_dir(), "missing {}", dir.display());
         scan_dir(&dir, &mut violations);

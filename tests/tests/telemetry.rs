@@ -14,6 +14,13 @@
 //!    compile-out guarantee — lib builds without the `record` feature
 //!    carry zero telemetry symbols — is checked by the CI build-matrix
 //!    step, not a runtime test.)
+//! 4. Trace exports degrade gracefully at the edges: empty profiles
+//!    and timelines export valid (if boring) documents, lifecycle
+//!    phases still open at export are drawn to the horizon and flagged
+//!    rather than dropped, and a span forest recorded across a real
+//!    multi-threaded worker pool survives the drain — including the
+//!    wall timeline reconciling exactly with the service's own
+//!    summary.
 
 use std::sync::MutexGuard;
 
@@ -149,4 +156,129 @@ fn runtime_disabled_records_nothing() {
         profile.names_at_depth(0).is_empty(),
         "no roots may exist after a disabled session"
     );
+}
+
+/// Exports of nothing are still valid documents: an empty drained
+/// profile, a finalized timeline that saw no work, and a wall timeline
+/// built from zero events all render loadable Chrome traces and
+/// well-formed JSONL instead of panicking or emitting fragments.
+#[test]
+fn empty_exports_are_valid_documents() {
+    let guard = tele_guard();
+    tele::reset();
+    let profile = tele::drain();
+    drop(guard);
+    let chrome = tele::profile_to_chrome(&profile);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with('}'), "complete JSON doc");
+    assert!(tele::profile_to_jsonl(&profile)
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+
+    let mut sim = tele::SimTimeline::new(2);
+    sim.finalize(0.0);
+    let chrome = sim.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with('}'));
+    for line in sim.to_jsonl().lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    let wall = tele::WallTimeline::from_events(&[]);
+    assert!(wall.is_empty());
+    assert_eq!(wall.num_workers(), 0);
+    let chrome = wall.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with('}'));
+    let jsonl = wall.to_jsonl();
+    assert!(
+        jsonl.starts_with("{\"kind\":\"meta\""),
+        "even an empty wall timeline leads with its meta line: {jsonl}"
+    );
+}
+
+/// A request whose lifecycle is still in flight when the timeline is
+/// exported — admitted and proving, never finished — must appear in
+/// the Chrome trace truncated at the horizon and flagged
+/// `open_at_export`, not be silently dropped or left as an unbalanced
+/// async pair.
+#[test]
+fn open_lifecycle_phases_survive_export() {
+    use tele::{WallEvent, WallEventKind};
+    let ev = |t_ns: u64, seq: u64, kind: WallEventKind, id: u64| WallEvent {
+        t_ns,
+        seq,
+        tid: 0,
+        kind,
+        id,
+        tenant: 0,
+        arg: 0,
+        a: 0.0,
+        b: 0.0,
+    };
+    let wall = tele::WallTimeline::from_events(&[
+        ev(10, 0, WallEventKind::Admitted, 7),
+        ev(20, 1, WallEventKind::Dispatched, 7),
+        ev(30, 2, WallEventKind::ProveBegin, 7),
+        // horizon moves past the open prove phase
+        ev(90, 3, WallEventKind::Admitted, 8),
+    ]);
+    let chrome = wall.to_chrome_trace();
+    assert!(chrome.contains("\"open_at_export\":true"), "{chrome}");
+    // Balanced async pairs: every "b" has its "e", even the open ones.
+    assert_eq!(
+        chrome.matches("\"ph\":\"b\"").count(),
+        chrome.matches("\"ph\":\"e\"").count(),
+        "{chrome}"
+    );
+}
+
+/// The full cross-thread round trip on a real worker pool: a live
+/// proving service (dispatcher thread + 2 workers + this thread) runs
+/// a few requests with recording on. The drained profile's span forest
+/// must be well-formed across all those threads, and the wall timeline
+/// rebuilt from its events must reconcile *exactly* with the
+/// `ServeReport` the service computed independently.
+#[test]
+fn cross_thread_span_forest_and_wall_reconcile() {
+    use zkphire_serve::{reconcile_wall, ProvingService, ServeConfig, ServeOpts};
+
+    let class = RequestClass::new(Gate::Vanilla, 4);
+    let guard = tele_guard();
+    tele::reset();
+    tele::set_enabled(true);
+    let cfg = ServeConfig::new(vec![class]).with_opts(
+        ServeOpts::default()
+            .with_workers(2)
+            .with_prover_threads(1)
+            .with_max_batch(2),
+    );
+    let service = ProvingService::start(cfg).expect("startup");
+    for _ in 0..6 {
+        service.submit(class, 0).expect("admitted");
+    }
+    let report = service.shutdown().expect("clean drain");
+    tele::set_enabled(false);
+    let profile = tele::drain();
+    drop(guard);
+
+    assert_eq!(report.summary.completed, 6);
+    profile
+        .check_well_formed()
+        .expect("cross-thread span forest well-formed");
+    assert!(
+        profile.span_count("prove") >= 1,
+        "worker threads contribute prover spans"
+    );
+
+    let wall = tele::WallTimeline::from_events(&profile.wall_events);
+    assert!(!wall.is_empty(), "lifecycle events recorded");
+    assert_eq!(wall.outcome_count(tele::Outcome::Completed), 6);
+    reconcile_wall(&wall, &report.summary).expect("timeline and summary describe the same run");
+
+    // The exports hold up on real multi-threaded data too.
+    let chrome = wall.to_chrome_trace();
+    assert!(chrome.contains("\"ph\":\"b\"") && chrome.contains("\"ph\":\"e\""));
+    assert!(chrome.contains("\"worker busy\"") || chrome.contains("worker"));
+    assert!(tele::profile_to_chrome(&profile).starts_with("{\"traceEvents\":["));
 }
