@@ -4,6 +4,7 @@ mod ablations;
 mod autoscale_exps;
 mod faults_exps;
 mod fleet_exps;
+mod net_exps;
 mod obs_exps;
 mod perf_exps;
 mod serve_exps;
@@ -15,6 +16,7 @@ pub use ablations::ablations;
 pub use autoscale_exps::autoscale;
 pub use faults_exps::faults;
 pub use fleet_exps::fleet;
+pub use net_exps::{net, net_with_args};
 pub use obs_exps::{obs, obs_with_args};
 pub use perf_exps::{perf, perf_with_args};
 pub use serve_exps::{serve, serve_with_args};
@@ -23,7 +25,7 @@ pub use system_exps::{fig10, fig11, fig12, run_pareto_sweep, table5};
 pub use workload_exps::{breakdown, fig13, fig14, table6, table7, table8, table9};
 
 /// All experiment names in paper order, then the post-paper extensions.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 25] = [
     "table1",
     "fig6",
     "fig7",
@@ -48,6 +50,7 @@ pub const ALL: [&str; 24] = [
     "perf",
     "obs",
     "serve",
+    "net",
 ];
 
 /// Runs one experiment by name.
@@ -58,7 +61,8 @@ pub fn run(name: &str) -> Option<String> {
 /// Runs one experiment by name with extra command-line flags (`perf`
 /// consumes `--smoke` and `--out <path>`; `obs` consumes
 /// `--out-dir <dir>`; `serve` consumes `--smoke`, `--out <path>`, and
-/// `--out-dir <dir>` for its wall/sim trace artifacts).
+/// `--out-dir <dir>` for its wall/sim trace artifacts; `net` consumes
+/// `--smoke` and `--out <path>`).
 pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
     Some(match name {
         "table1" => table1(),
@@ -85,6 +89,7 @@ pub fn run_with_args(name: &str, args: &[String]) -> Option<String> {
         "faults" => faults(),
         "perf" => perf_with_args(args),
         "serve" => serve_with_args(args),
+        "net" => net_with_args(args),
         "obs" => obs_with_args(args),
         _ => return None,
     })

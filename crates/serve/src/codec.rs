@@ -1,0 +1,928 @@
+//! Length-prefixed frame codec for the `zkphire-serve` TCP front-end.
+//!
+//! Every frame on the wire is `[magic u32 LE][len u32 LE][body]` where
+//! `body` is `[type u8][payload]` and `len` counts the body bytes. The
+//! magic word rejects non-protocol peers before any payload parsing,
+//! and the length prefix is bounded by [`MAX_FRAME`] so a hostile
+//! header can never make the server buffer an unbounded body. Decoding
+//! is total: every byte sequence either yields a frame, asks for more
+//! bytes, or returns a typed [`FrameError`] — no panicking index math,
+//! no `unwrap` (`no_panic_gate` scans this module like the rest of the
+//! crate).
+//!
+//! Payload scalars are little-endian; `f64` travels as its IEEE-754
+//! bit pattern so wall-clock numbers survive the wire bitwise (the
+//! reconciliation story in [`crate::recon`] depends on nobody rounding
+//! in transit). Strings are u16-length-prefixed UTF-8, capped at
+//! [`MAX_DETAIL`] bytes at encode time.
+
+use std::fmt;
+
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{Outcome, OutcomeRecord, RequestClass};
+
+/// Magic word opening every frame: `"zkPH"` little-endian.
+pub const MAGIC: u32 = 0x487A_6B50;
+/// Protocol version carried in the [`Frame::Welcome`] greeting.
+pub const VERSION: u8 = 1;
+/// Hard cap on the body length a peer may declare. Anything larger is
+/// a protocol error before a single body byte is read.
+pub const MAX_FRAME: usize = 4096;
+/// Cap on the `detail` string inside [`Frame::Error`] frames.
+pub const MAX_DETAIL: usize = 512;
+/// Bytes in the fixed header (`magic` + `len`).
+pub const HEADER_LEN: usize = 8;
+
+const TYPE_WELCOME: u8 = 1;
+const TYPE_BUSY: u8 = 2;
+const TYPE_SUBMIT: u8 = 3;
+const TYPE_ACCEPTED: u8 = 4;
+const TYPE_REJECTED: u8 = 5;
+const TYPE_OUTCOME: u8 = 6;
+const TYPE_GOODBYE: u8 = 7;
+const TYPE_BYE: u8 = 8;
+const TYPE_ERROR: u8 = 9;
+
+/// Why the server turned a [`Frame::Submit`] away. Mirrors the
+/// rejection arms of [`crate::ServeError`] so the wire carries the
+/// same distinctions the in-process API does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's private admission cap is full.
+    TenantCap {
+        /// The cap that was hit.
+        cap: u32,
+    },
+    /// The shared queue is at capacity.
+    QueueFull {
+        /// The queue capacity that was hit.
+        capacity: u32,
+    },
+    /// The service is draining and no longer accepts work.
+    ShuttingDown,
+    /// The submit named a gate/μ combination the service has no
+    /// calibrated cost for.
+    UnknownClass,
+}
+
+impl RejectReason {
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::TenantCap { .. } => 1,
+            RejectReason::QueueFull { .. } => 2,
+            RejectReason::ShuttingDown => 3,
+            RejectReason::UnknownClass => 4,
+        }
+    }
+
+    /// Stable lower-snake name, used in tables and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::TenantCap { .. } => "tenant_cap",
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::UnknownClass => "unknown_class",
+        }
+    }
+
+    fn arg(self) -> u32 {
+        match self {
+            RejectReason::TenantCap { cap } => cap,
+            RejectReason::QueueFull { capacity } => capacity,
+            RejectReason::ShuttingDown | RejectReason::UnknownClass => 0,
+        }
+    }
+
+    fn from_wire(code: u8, arg: u32) -> Result<Self, FrameError> {
+        match code {
+            1 => Ok(RejectReason::TenantCap { cap: arg }),
+            2 => Ok(RejectReason::QueueFull { capacity: arg }),
+            3 => Ok(RejectReason::ShuttingDown),
+            4 => Ok(RejectReason::UnknownClass),
+            other => Err(FrameError::BadPayload(format!(
+                "unknown reject reason code {other}"
+            ))),
+        }
+    }
+}
+
+/// Error codes carried by [`Frame::Error`]. The server closes the
+/// connection after sending one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer's bytes failed to parse as a frame.
+    Protocol,
+    /// The peer went silent mid-frame past the read deadline.
+    Stalled,
+    /// The peer sat idle past the idle deadline.
+    IdleTimeout,
+    /// The peer half-closed with a partial frame buffered.
+    Truncated,
+    /// The server hit an internal error handling a valid frame.
+    Internal,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::Stalled => 2,
+            ErrorCode::IdleTimeout => 3,
+            ErrorCode::Truncated => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    /// Stable lower-snake name, used in tables and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Stalled => "stalled",
+            ErrorCode::IdleTimeout => "idle_timeout",
+            ErrorCode::Truncated => "truncated",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_wire(code: u8) -> Result<Self, FrameError> {
+        match code {
+            1 => Ok(ErrorCode::Protocol),
+            2 => Ok(ErrorCode::Stalled),
+            3 => Ok(ErrorCode::IdleTimeout),
+            4 => Ok(ErrorCode::Truncated),
+            5 => Ok(ErrorCode::Internal),
+            other => Err(FrameError::BadPayload(format!(
+                "unknown error code {other}"
+            ))),
+        }
+    }
+}
+
+/// One protocol frame. Client→server: `Submit`, `Goodbye`.
+/// Server→client: everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Server greeting sent on accept.
+    Welcome {
+        /// Protocol version the server speaks.
+        version: u8,
+        /// The server's [`MAX_FRAME`], so clients can size writes.
+        max_frame: u32,
+    },
+    /// Server is at its hard connection cap; it hangs up after this.
+    Busy {
+        /// Suggested wait before reconnecting, from live queue depth.
+        retry_after_ms: u32,
+    },
+    /// Client asks for one proof.
+    Submit {
+        /// Client-chosen correlation number echoed in the response.
+        seq: u64,
+        /// Circuit gate kind.
+        gate: Gate,
+        /// log2 constraint count.
+        mu: u32,
+        /// Tenant the request bills to.
+        tenant: u32,
+    },
+    /// The submit was admitted; a [`Frame::Outcome`] will follow.
+    Accepted {
+        /// Echo of the submit's `seq`.
+        seq: u64,
+        /// Service-assigned request id (matches the outcome stream).
+        id: u64,
+        /// Queue depth right after admission.
+        queue_depth: u32,
+    },
+    /// The submit was turned away; no outcome will follow.
+    Rejected {
+        /// Echo of the submit's `seq`.
+        seq: u64,
+        /// Which admission gate said no.
+        reason: RejectReason,
+        /// Suggested wait before retrying, from live queue depth.
+        retry_after_ms: u32,
+    },
+    /// Terminal outcome for an accepted request.
+    Outcome {
+        /// The id from [`Frame::Accepted`].
+        id: u64,
+        /// Tenant the request billed to.
+        tenant: u32,
+        /// How the request ended.
+        outcome: Outcome,
+        /// Service-clock completion time, ms (bit-exact).
+        t_ms: f64,
+        /// Queue-to-terminal latency, ms (bit-exact).
+        latency_ms: f64,
+        /// Prove attempts consumed.
+        attempts: u32,
+    },
+    /// Client is done submitting; server flushes outcomes then `Bye`s.
+    Goodbye,
+    /// Server's final frame before closing a drained connection.
+    Bye,
+    /// Typed failure; the server closes the connection after this.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail, capped at [`MAX_DETAIL`] bytes.
+        detail: String,
+    },
+}
+
+/// Why a byte sequence failed to decode. Carried inside
+/// [`crate::ServeError::Protocol`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic(u32),
+    /// The header declared a body longer than [`MAX_FRAME`].
+    Oversized {
+        /// Declared body length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The buffer ended inside a frame that can never complete (e.g.
+    /// the peer half-closed mid-frame).
+    Truncated {
+        /// Bytes the frame needs.
+        need: usize,
+        /// Bytes that arrived.
+        got: usize,
+    },
+    /// The body's type byte named no known frame.
+    UnknownType(u8),
+    /// A `Welcome` advertised a version this build does not speak.
+    UnknownVersion(u8),
+    /// The payload failed structural validation.
+    BadPayload(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(got) => {
+                write!(f, "bad magic {got:#010x}, expected {MAGIC:#010x}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "declared frame body of {len} bytes exceeds cap {max}")
+            }
+            FrameError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::UnknownVersion(v) => write!(f, "unknown protocol version {v}"),
+            FrameError::BadPayload(why) => write!(f, "bad frame payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// -- encode ---------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn gate_code(g: Gate) -> u8 {
+    match g {
+        Gate::Vanilla => 0,
+        Gate::Jellyfish => 1,
+    }
+}
+
+fn gate_from_wire(code: u8) -> Result<Gate, FrameError> {
+    match code {
+        0 => Ok(Gate::Vanilla),
+        1 => Ok(Gate::Jellyfish),
+        other => Err(FrameError::BadPayload(format!("unknown gate code {other}"))),
+    }
+}
+
+fn outcome_code(o: Outcome) -> u8 {
+    match o {
+        Outcome::Completed => 0,
+        Outcome::Rejected => 1,
+        Outcome::Shed => 2,
+        Outcome::Lost => 3,
+    }
+}
+
+fn outcome_from_wire(code: u8) -> Result<Outcome, FrameError> {
+    match code {
+        0 => Ok(Outcome::Completed),
+        1 => Ok(Outcome::Rejected),
+        2 => Ok(Outcome::Shed),
+        3 => Ok(Outcome::Lost),
+        other => Err(FrameError::BadPayload(format!(
+            "unknown outcome code {other}"
+        ))),
+    }
+}
+
+/// Encodes `frame` as one wire frame (header + body). Always succeeds:
+/// the only variable-size field, `Error::detail`, is truncated to
+/// [`MAX_DETAIL`] bytes on a UTF-8 boundary before encoding.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match frame {
+        Frame::Welcome { version, max_frame } => {
+            body.push(TYPE_WELCOME);
+            body.push(*version);
+            put_u32(&mut body, *max_frame);
+        }
+        Frame::Busy { retry_after_ms } => {
+            body.push(TYPE_BUSY);
+            put_u32(&mut body, *retry_after_ms);
+        }
+        Frame::Submit {
+            seq,
+            gate,
+            mu,
+            tenant,
+        } => {
+            body.push(TYPE_SUBMIT);
+            put_u64(&mut body, *seq);
+            body.push(gate_code(*gate));
+            put_u32(&mut body, *mu);
+            put_u32(&mut body, *tenant);
+        }
+        Frame::Accepted {
+            seq,
+            id,
+            queue_depth,
+        } => {
+            body.push(TYPE_ACCEPTED);
+            put_u64(&mut body, *seq);
+            put_u64(&mut body, *id);
+            put_u32(&mut body, *queue_depth);
+        }
+        Frame::Rejected {
+            seq,
+            reason,
+            retry_after_ms,
+        } => {
+            body.push(TYPE_REJECTED);
+            put_u64(&mut body, *seq);
+            body.push(reason.code());
+            put_u32(&mut body, reason.arg());
+            put_u32(&mut body, *retry_after_ms);
+        }
+        Frame::Outcome {
+            id,
+            tenant,
+            outcome,
+            t_ms,
+            latency_ms,
+            attempts,
+        } => {
+            body.push(TYPE_OUTCOME);
+            put_u64(&mut body, *id);
+            put_u32(&mut body, *tenant);
+            body.push(outcome_code(*outcome));
+            put_f64(&mut body, *t_ms);
+            put_f64(&mut body, *latency_ms);
+            put_u32(&mut body, *attempts);
+        }
+        Frame::Goodbye => body.push(TYPE_GOODBYE),
+        Frame::Bye => body.push(TYPE_BYE),
+        Frame::Error { code, detail } => {
+            body.push(TYPE_ERROR);
+            body.push(code.code());
+            let mut end = detail.len().min(MAX_DETAIL);
+            while end > 0 && !detail.is_char_boundary(end) {
+                end -= 1;
+            }
+            let bytes = &detail.as_bytes()[..end];
+            put_u16(&mut body, bytes.len() as u16);
+            body.extend_from_slice(bytes);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    put_u32(&mut out, MAGIC);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+// -- decode ---------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a frame body. Every `take_*`
+/// returns `None` past the end, which the frame parser maps to a typed
+/// [`FrameError::BadPayload`] — malformed lengths can never index out
+/// of range.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn take_u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .and_then(|b| b.try_into().ok())
+            .map(u16::from_le_bytes)
+    }
+
+    fn take_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_le_bytes)
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+    }
+
+    fn take_f64(&mut self) -> Option<f64> {
+        self.take_u64().map(f64::from_bits)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn short(field: &str) -> FrameError {
+    FrameError::BadPayload(format!("body too short for {field}"))
+}
+
+fn parse_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor::new(body);
+    let ty = c
+        .take_u8()
+        .ok_or(FrameError::Truncated { need: 1, got: 0 })?;
+    let frame = match ty {
+        TYPE_WELCOME => {
+            let version = c.take_u8().ok_or_else(|| short("version"))?;
+            if version != VERSION {
+                return Err(FrameError::UnknownVersion(version));
+            }
+            let max_frame = c.take_u32().ok_or_else(|| short("max_frame"))?;
+            Frame::Welcome { version, max_frame }
+        }
+        TYPE_BUSY => Frame::Busy {
+            retry_after_ms: c.take_u32().ok_or_else(|| short("retry_after_ms"))?,
+        },
+        TYPE_SUBMIT => {
+            let seq = c.take_u64().ok_or_else(|| short("seq"))?;
+            let gate = gate_from_wire(c.take_u8().ok_or_else(|| short("gate"))?)?;
+            let mu = c.take_u32().ok_or_else(|| short("mu"))?;
+            let tenant = c.take_u32().ok_or_else(|| short("tenant"))?;
+            Frame::Submit {
+                seq,
+                gate,
+                mu,
+                tenant,
+            }
+        }
+        TYPE_ACCEPTED => {
+            let seq = c.take_u64().ok_or_else(|| short("seq"))?;
+            let id = c.take_u64().ok_or_else(|| short("id"))?;
+            let queue_depth = c.take_u32().ok_or_else(|| short("queue_depth"))?;
+            Frame::Accepted {
+                seq,
+                id,
+                queue_depth,
+            }
+        }
+        TYPE_REJECTED => {
+            let seq = c.take_u64().ok_or_else(|| short("seq"))?;
+            let code = c.take_u8().ok_or_else(|| short("reason"))?;
+            let arg = c.take_u32().ok_or_else(|| short("reason arg"))?;
+            let retry_after_ms = c.take_u32().ok_or_else(|| short("retry_after_ms"))?;
+            Frame::Rejected {
+                seq,
+                reason: RejectReason::from_wire(code, arg)?,
+                retry_after_ms,
+            }
+        }
+        TYPE_OUTCOME => {
+            let id = c.take_u64().ok_or_else(|| short("id"))?;
+            let tenant = c.take_u32().ok_or_else(|| short("tenant"))?;
+            let outcome = outcome_from_wire(c.take_u8().ok_or_else(|| short("outcome"))?)?;
+            let t_ms = c.take_f64().ok_or_else(|| short("t_ms"))?;
+            let latency_ms = c.take_f64().ok_or_else(|| short("latency_ms"))?;
+            let attempts = c.take_u32().ok_or_else(|| short("attempts"))?;
+            Frame::Outcome {
+                id,
+                tenant,
+                outcome,
+                t_ms,
+                latency_ms,
+                attempts,
+            }
+        }
+        TYPE_GOODBYE => Frame::Goodbye,
+        TYPE_BYE => Frame::Bye,
+        TYPE_ERROR => {
+            let code = ErrorCode::from_wire(c.take_u8().ok_or_else(|| short("code"))?)?;
+            let len = c.take_u16().ok_or_else(|| short("detail length"))? as usize;
+            let bytes = c.take(len).ok_or_else(|| short("detail"))?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| FrameError::BadPayload("detail is not UTF-8".into()))?
+                .to_string();
+            Frame::Error { code, detail }
+        }
+        other => return Err(FrameError::UnknownType(other)),
+    };
+    if !c.done() {
+        return Err(FrameError::BadPayload(format!(
+            "{} trailing bytes after {} frame",
+            body.len() - c.pos,
+            frame_name(&frame)
+        )));
+    }
+    Ok(frame)
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Welcome { .. } => "welcome",
+        Frame::Busy { .. } => "busy",
+        Frame::Submit { .. } => "submit",
+        Frame::Accepted { .. } => "accepted",
+        Frame::Rejected { .. } => "rejected",
+        Frame::Outcome { .. } => "outcome",
+        Frame::Goodbye => "goodbye",
+        Frame::Bye => "bye",
+        Frame::Error { .. } => "error",
+    }
+}
+
+/// Tries to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` when a complete frame parsed
+/// (`consumed` includes the header), `Ok(None)` when the bytes so far
+/// are a valid prefix and more input is needed, and `Err` when the
+/// stream can never recover — bad magic, an oversized declaration, or
+/// a body that failed to parse. Callers close the connection on `Err`.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() >= 4 {
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len: len as u32,
+            max: MAX_FRAME as u32,
+        });
+    }
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = parse_body(&buf[HEADER_LEN..total])?;
+    Ok(Some((frame, total)))
+}
+
+/// Builds the [`Frame::Outcome`] carrying `rec` — the wire image of
+/// one [`OutcomeRecord`], f64 fields bit-exact.
+pub fn outcome_frame(rec: &OutcomeRecord) -> Frame {
+    Frame::Outcome {
+        id: rec.id,
+        tenant: rec.tenant,
+        outcome: rec.outcome,
+        t_ms: rec.t_ms,
+        latency_ms: rec.latency_ms,
+        attempts: rec.attempts,
+    }
+}
+
+/// Rebuilds an [`OutcomeRecord`] from a decoded [`Frame::Outcome`];
+/// `class` comes from the client's own submit bookkeeping since the
+/// wire frame does not repeat it.
+pub fn record_from_outcome(
+    id: u64,
+    tenant: u32,
+    outcome: Outcome,
+    t_ms: f64,
+    latency_ms: f64,
+    attempts: u32,
+    class: RequestClass,
+) -> OutcomeRecord {
+    OutcomeRecord {
+        id,
+        tenant,
+        class,
+        outcome,
+        t_ms,
+        latency_ms,
+        attempts,
+    }
+}
+
+// ---------------------------------------------------------------------------
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes)
+            .expect("valid frame decodes")
+            .expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Frame::Welcome {
+            version: VERSION,
+            max_frame: MAX_FRAME as u32,
+        });
+        roundtrip(Frame::Busy { retry_after_ms: 7 });
+        roundtrip(Frame::Submit {
+            seq: 42,
+            gate: Gate::Jellyfish,
+            mu: 14,
+            tenant: 3,
+        });
+        roundtrip(Frame::Accepted {
+            seq: 42,
+            id: 9,
+            queue_depth: 2,
+        });
+        for reason in [
+            RejectReason::TenantCap { cap: 4 },
+            RejectReason::QueueFull { capacity: 64 },
+            RejectReason::ShuttingDown,
+            RejectReason::UnknownClass,
+        ] {
+            roundtrip(Frame::Rejected {
+                seq: 1,
+                reason,
+                retry_after_ms: 120,
+            });
+        }
+        roundtrip(Frame::Outcome {
+            id: 5,
+            tenant: 0,
+            outcome: Outcome::Completed,
+            t_ms: 123.456,
+            latency_ms: 0.25,
+            attempts: 1,
+        });
+        roundtrip(Frame::Goodbye);
+        roundtrip(Frame::Bye);
+        roundtrip(Frame::Error {
+            code: ErrorCode::Protocol,
+            detail: "bad magic".into(),
+        });
+    }
+
+    #[test]
+    fn partial_header_asks_for_more() {
+        let bytes = encode_frame(&Frame::Goodbye);
+        for n in 0..HEADER_LEN.min(4) {
+            assert_eq!(decode_frame(&bytes[..n]), Ok(None), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn partial_body_asks_for_more() {
+        let bytes = encode_frame(&Frame::Submit {
+            seq: 1,
+            gate: Gate::Vanilla,
+            mu: 12,
+            tenant: 0,
+        });
+        for n in HEADER_LEN..bytes.len() {
+            assert_eq!(decode_frame(&bytes[..n]), Ok(None), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_immediately() {
+        let err = decode_frame(b"GET / HTTP/1.1\r\n").expect_err("not our magic");
+        assert!(matches!(err, FrameError::BadMagic(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_body() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let err = decode_frame(&bytes).expect_err("oversized");
+        assert_eq!(
+            err,
+            FrameError::Oversized {
+                len: MAX_FRAME as u32 + 1,
+                max: MAX_FRAME as u32
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0xEE);
+        let err = decode_frame(&bytes).expect_err("unknown type");
+        assert_eq!(err, FrameError::UnknownType(0xEE));
+    }
+
+    #[test]
+    fn short_payload_is_bad_payload_not_panic() {
+        // A submit frame truncated inside its payload but with a
+        // matching (small) length declaration: structurally complete,
+        // semantically short.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.push(TYPE_SUBMIT);
+        bytes.extend_from_slice(&[0, 0]);
+        let err = decode_frame(&bytes).expect_err("short payload");
+        assert!(matches!(err, FrameError::BadPayload(_)), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.push(TYPE_GOODBYE);
+        bytes.push(0x55);
+        let err = decode_frame(&bytes).expect_err("trailing byte");
+        assert!(matches!(err, FrameError::BadPayload(_)), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_version_welcome_is_rejected() {
+        let bytes = encode_frame(&Frame::Welcome {
+            version: VERSION,
+            max_frame: 64,
+        });
+        let mut tampered = bytes.clone();
+        tampered[HEADER_LEN + 1] = VERSION + 1;
+        let err = decode_frame(&tampered).expect_err("future version");
+        assert_eq!(err, FrameError::UnknownVersion(VERSION + 1));
+    }
+
+    #[test]
+    fn error_detail_is_capped_on_encode() {
+        let long = "x".repeat(MAX_DETAIL * 3);
+        let bytes = encode_frame(&Frame::Error {
+            code: ErrorCode::Internal,
+            detail: long,
+        });
+        assert!(bytes.len() <= HEADER_LEN + 1 + 1 + 2 + MAX_DETAIL);
+        let (frame, _) = decode_frame(&bytes).expect("decodes").expect("complete");
+        match frame {
+            Frame::Error { detail, .. } => assert_eq!(detail.len(), MAX_DETAIL),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detail_cap_respects_utf8_boundaries() {
+        // 'é' is 2 bytes; an odd cap would land mid-char without the
+        // boundary walk-back.
+        let detail = "é".repeat(MAX_DETAIL);
+        let bytes = encode_frame(&Frame::Error {
+            code: ErrorCode::Internal,
+            detail,
+        });
+        let (frame, _) = decode_frame(&bytes).expect("decodes").expect("complete");
+        match frame {
+            Frame::Error { detail, .. } => assert!(detail.len() <= MAX_DETAIL),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_concatenated_frames_consumes_one_at_a_time() {
+        let a = encode_frame(&Frame::Goodbye);
+        let b = encode_frame(&Frame::Bye);
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let (f1, n1) = decode_frame(&buf).expect("first").expect("complete");
+        assert_eq!(f1, Frame::Goodbye);
+        assert_eq!(n1, a.len());
+        let (f2, n2) = decode_frame(&buf[n1..]).expect("second").expect("complete");
+        assert_eq!(f2, Frame::Bye);
+        assert_eq!(n2, b.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic() {
+        // Deterministic pseudo-random fuzz: every prefix of every
+        // buffer must decode to Ok or a typed error, never panic.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u8
+        };
+        for _ in 0..256 {
+            let len = (next() as usize) % 64;
+            let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+            for n in 0..=buf.len() {
+                let _ = decode_frame(&buf[..n]);
+            }
+        }
+    }
+
+    fn finite_f64() -> impl Strategy<Value = f64> {
+        (any::<u32>(), 1u32..1000u32).prop_map(|(n, d)| n as f64 / d as f64)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_submit_roundtrips(seq in any::<u64>(), mu in 0u32..64, tenant in any::<u32>(), jelly in any::<bool>()) {
+            let gate = if jelly { Gate::Jellyfish } else { Gate::Vanilla };
+            roundtrip(Frame::Submit { seq, gate, mu, tenant });
+        }
+
+        #[test]
+        fn prop_accepted_roundtrips(seq in any::<u64>(), id in any::<u64>(), queue_depth in any::<u32>()) {
+            roundtrip(Frame::Accepted { seq, id, queue_depth });
+        }
+
+        #[test]
+        fn prop_outcome_roundtrips(
+            id in any::<u64>(),
+            tenant in any::<u32>(),
+            which in 0u8..4,
+            t_ms in finite_f64(),
+            latency_ms in finite_f64(),
+            attempts in any::<u32>(),
+        ) {
+            let outcome = match which {
+                0 => Outcome::Completed,
+                1 => Outcome::Rejected,
+                2 => Outcome::Shed,
+                _ => Outcome::Lost,
+            };
+            roundtrip(Frame::Outcome { id, tenant, outcome, t_ms, latency_ms, attempts });
+        }
+
+        #[test]
+        fn prop_rejected_roundtrips(seq in any::<u64>(), which in 0u8..4, arg in any::<u32>(), retry in any::<u32>()) {
+            let reason = match which {
+                0 => RejectReason::TenantCap { cap: arg },
+                1 => RejectReason::QueueFull { capacity: arg },
+                2 => RejectReason::ShuttingDown,
+                _ => RejectReason::UnknownClass,
+            };
+            roundtrip(Frame::Rejected { seq, reason, retry_after_ms: retry });
+        }
+
+        #[test]
+        fn prop_busy_and_error_roundtrip(retry in any::<u32>(), code in 0u8..5) {
+            roundtrip(Frame::Busy { retry_after_ms: retry });
+            let code = match code {
+                0 => ErrorCode::Protocol,
+                1 => ErrorCode::Stalled,
+                2 => ErrorCode::IdleTimeout,
+                3 => ErrorCode::Truncated,
+                _ => ErrorCode::Internal,
+            };
+            roundtrip(Frame::Error { code, detail: "detail".into() });
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_random_prefixes(bytes in any::<[u8; 32]>(), cut in 0usize..33) {
+            let _ = decode_frame(&bytes[..cut]);
+        }
+    }
+}

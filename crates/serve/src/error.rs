@@ -8,6 +8,8 @@
 
 use zkphire_fleet::{MetricsError, SimError, TenantId};
 
+use crate::codec::FrameError;
+
 /// Typed failure modes of [`crate::service::ProvingService`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServeError {
@@ -41,6 +43,23 @@ pub enum ServeError {
         /// Its unparsable value.
         value: String,
     },
+    /// A peer's bytes failed to parse as a protocol frame (bad magic,
+    /// oversized declaration, truncated body, unknown type). The
+    /// connection gets a structured [`crate::codec::Frame::Error`]
+    /// response and a close — never a panic.
+    Protocol(FrameError),
+    /// A network operation on the front-end failed (bind, accept,
+    /// read, write, connect). `op` names the operation; `detail` is
+    /// the OS error text.
+    Net {
+        /// The operation that failed (`"bind"`, `"read"`, …).
+        op: &'static str,
+        /// OS-level detail.
+        detail: String,
+    },
+    /// `shutdown()` was called on a server that already drained, or
+    /// work was submitted after drain completed.
+    AlreadyShutDown,
     /// A service invariant broke (a worker died, a lock was poisoned,
     /// accounting drifted, a proof failed verification). Mirrors
     /// [`SimError::Invariant`].
@@ -64,11 +83,11 @@ impl std::fmt::Display for ServeError {
                 write!(f, "no prover assets baked for class {class}")
             }
             Self::InvalidEnv { var, value } => {
-                write!(
-                    f,
-                    "env var {var} is set to {value:?}, not a non-negative integer"
-                )
+                write!(f, "env var {var} is set to the unparsable value {value:?}")
             }
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Net { op, detail } => write!(f, "net {op} failed: {detail}"),
+            Self::AlreadyShutDown => write!(f, "service already shut down"),
             Self::Invariant(why) => write!(f, "service invariant broke: {why}"),
             Self::Metrics(e) => write!(f, "metrics error: {e}"),
         }
@@ -80,6 +99,12 @@ impl std::error::Error for ServeError {}
 impl From<MetricsError> for ServeError {
     fn from(e: MetricsError) -> Self {
         Self::Metrics(e)
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        Self::Protocol(e)
     }
 }
 

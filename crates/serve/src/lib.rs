@@ -55,14 +55,29 @@
 //! assert_eq!(report.records[0].id, id);
 //! ```
 
+//!
+//! The service also has a network face: [`net::NetServer`] fronts a
+//! [`ProvingService`] with a length-prefixed TCP protocol ([`codec`]) —
+//! bounded handler pool, hard connection cap, per-connection read
+//! deadlines and an idle reaper, admission rejections mapped to
+//! distinct wire status frames with live retry-after hints, and a
+//! drain-on-shutdown that still satisfies [`reconcile_wall`]. The
+//! protocol and its failure-mode matrix are documented in
+//! `docs/SERVE.md`; [`loadgen::NetClient`] and the deterministic
+//! [`loadgen::chaos`] client exercise it.
+
+pub mod codec;
 pub mod error;
 pub mod loadgen;
+pub mod net;
 pub mod opts;
 pub mod recon;
 pub mod service;
 
+pub use codec::{Frame, FrameError};
 pub use error::ServeError;
-pub use loadgen::{replay, LoadGenReport};
+pub use loadgen::{chaos, replay, replay_net, ChaosMode, LoadGenReport, NetClient, SubmitResult};
+pub use net::{NetReport, NetServer, NetStats};
 pub use opts::ServeOpts;
 pub use recon::reconcile_wall;
 pub use service::{ProvingService, ServeConfig, ServeReport};

@@ -1,5 +1,5 @@
 //! Replays the simulator's arrival processes against a live
-//! [`ProvingService`].
+//! [`ProvingService`] — in-process or over the wire.
 //!
 //! Any [`ArrivalSource`] — Poisson, bursty ON/OFF, or a recorded trace
 //! — drives the service in wall-clock time: each arrival is submitted
@@ -8,12 +8,28 @@
 //! model's chip-milliseconds onto this machine's measured
 //! proof-milliseconds, is what makes the sim-vs-wall comparison in
 //! `repro serve` apples-to-apples.
+//!
+//! The network half of this module drives a [`crate::net::NetServer`]
+//! instead: [`NetClient`] is a well-behaved framed-protocol client
+//! ([`replay_net`] paces a trace through one), and [`chaos`] is a
+//! deliberately *mis*behaved one — a deterministic, seeded adversary
+//! that sends garbage frames, oversized declarations, truncated
+//! writes, stalled reads, mid-proof disconnects, and connection floods,
+//! then reports how the server answered each. `repro net` asserts the
+//! server survives every mode with its accounting intact.
 
 use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
-use zkphire_fleet::{ArrivalSource, TenantId};
+use zkphire_fleet::{ArrivalSource, OutcomeRecord, RequestClass, SplitMix64, TenantId};
 use zkphire_telemetry::Histogram;
 
+use crate::codec::{
+    decode_frame, encode_frame, record_from_outcome, Frame, RejectReason, HEADER_LEN, MAGIC,
+    MAX_FRAME,
+};
 use crate::error::ServeError;
 use crate::service::ProvingService;
 
@@ -98,4 +114,602 @@ pub fn replay<S: ArrivalSource>(
         }
     }
     Ok(report)
+}
+
+// -- network client -------------------------------------------------------
+
+fn io_err(op: &'static str, e: &std::io::Error) -> ServeError {
+    ServeError::Net {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// How the server answered one [`NetClient::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// Admitted; a [`Frame::Outcome`] for `id` will stream later.
+    Accepted {
+        /// Service-assigned request id.
+        id: u64,
+        /// Queue depth the `Accepted` frame reported.
+        queue_depth: u32,
+    },
+    /// Refused; no outcome will follow.
+    Rejected {
+        /// Which admission gate said no.
+        reason: RejectReason,
+        /// The wire's suggested wait before retrying.
+        retry_after_ms: u32,
+    },
+}
+
+/// A well-behaved client for the [`crate::net::NetServer`] protocol:
+/// connects, submits, and collects streamed outcomes, rebuilding each
+/// into the same [`OutcomeRecord`] the in-process stream carries
+/// (f64 fields bit-exact — the codec ships them as raw bits).
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_seq: u64,
+    classes: BTreeMap<u64, RequestClass>,
+    outcomes: Vec<OutcomeRecord>,
+    epoch: Instant,
+    /// The `max_frame` the server's `Welcome` advertised.
+    pub max_frame: u32,
+}
+
+impl NetClient {
+    /// Connects and consumes the server's greeting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Net`] on transport failure or if the server
+    /// answered [`Frame::Busy`] (the hard connection cap).
+    pub fn connect(addr: SocketAddr) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .map_err(|e| io_err("set_read_timeout", &e))?;
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(2000)));
+        let mut client = Self {
+            stream,
+            buf: Vec::new(),
+            next_seq: 0,
+            classes: BTreeMap::new(),
+            outcomes: Vec::new(),
+            epoch: Instant::now(),
+            max_frame: 0,
+        };
+        match client.read_frame(Duration::from_millis(5000))? {
+            Some(Frame::Welcome { max_frame, .. }) => {
+                client.max_frame = max_frame;
+                Ok(client)
+            }
+            Some(Frame::Busy { retry_after_ms }) => Err(ServeError::Net {
+                op: "connect",
+                detail: format!("server busy, retry after {retry_after_ms} ms"),
+            }),
+            Some(other) => Err(ServeError::Invariant(format!(
+                "expected welcome, got {other:?}"
+            ))),
+            None => Err(ServeError::Net {
+                op: "connect",
+                detail: "server closed before greeting".into(),
+            }),
+        }
+    }
+
+    /// Wall-clock ms since this client connected — the pacing clock
+    /// for [`replay_net`].
+    pub fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Hybrid sleep/spin to `target_ms` on this client's clock — same
+    /// pacing discipline as [`ProvingService::sleep_until_ms`], so a
+    /// wire replay's arrival-error histogram is comparable to the
+    /// in-process one.
+    pub fn sleep_until_ms(&self, target_ms: f64) {
+        if !target_ms.is_finite() {
+            return;
+        }
+        const SPIN_MARGIN_MS: f64 = 1.5;
+        let remaining = target_ms - self.now_ms();
+        if remaining > SPIN_MARGIN_MS {
+            std::thread::sleep(Duration::from_secs_f64((remaining - SPIN_MARGIN_MS) / 1e3));
+        }
+        while self.now_ms() < target_ms {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Reads one frame, waiting at most `deadline`. `Ok(None)` is a
+    /// clean peer close.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Net`] on transport failure or deadline,
+    /// [`ServeError::Protocol`] if the server's bytes fail to decode.
+    pub fn read_frame(&mut self, deadline: Duration) -> Result<Option<Frame>, ServeError> {
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some((frame, used)) = decode_frame(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(Some(frame));
+            }
+            if Instant::now() >= until {
+                return Err(ServeError::Net {
+                    op: "read",
+                    detail: "deadline expired waiting for a frame".into(),
+                });
+            }
+            let mut tmp = [0u8; 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err("read", &e)),
+            }
+        }
+    }
+
+    /// Buffers a streamed outcome, rebuilding its [`OutcomeRecord`]
+    /// from the class remembered at submit time.
+    fn note_outcome(&mut self, frame: &Frame) -> Result<(), ServeError> {
+        if let Frame::Outcome {
+            id,
+            tenant,
+            outcome,
+            t_ms,
+            latency_ms,
+            attempts,
+        } = *frame
+        {
+            let class = self.classes.get(&id).copied().ok_or_else(|| {
+                ServeError::Invariant(format!("outcome for id {id} this client never submitted"))
+            })?;
+            self.outcomes.push(record_from_outcome(
+                id, tenant, outcome, t_ms, latency_ms, attempts, class,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Submits one request and waits for the server's admission
+    /// verdict. Outcome frames for earlier submits that arrive while
+    /// waiting are buffered, not lost.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Net`] on transport failure or deadline;
+    /// [`ServeError::Invariant`] on a protocol-order violation.
+    pub fn submit(
+        &mut self,
+        class: RequestClass,
+        tenant: TenantId,
+        deadline: Duration,
+    ) -> Result<SubmitResult, ServeError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stream
+            .write_all(&encode_frame(&Frame::Submit {
+                seq,
+                gate: class.gate,
+                mu: class.mu.min(u32::MAX as usize) as u32,
+                tenant,
+            }))
+            .map_err(|e| io_err("write", &e))?;
+        let until = Instant::now() + deadline;
+        loop {
+            let remaining = until.saturating_duration_since(Instant::now());
+            match self.read_frame(remaining)? {
+                Some(Frame::Accepted {
+                    seq: s,
+                    id,
+                    queue_depth,
+                }) if s == seq => {
+                    self.classes.insert(id, class);
+                    return Ok(SubmitResult::Accepted { id, queue_depth });
+                }
+                Some(Frame::Rejected {
+                    seq: s,
+                    reason,
+                    retry_after_ms,
+                }) if s == seq => {
+                    return Ok(SubmitResult::Rejected {
+                        reason,
+                        retry_after_ms,
+                    })
+                }
+                Some(f @ Frame::Outcome { .. }) => self.note_outcome(&f)?,
+                Some(Frame::Error { code, detail }) => {
+                    return Err(ServeError::Net {
+                        op: "submit",
+                        detail: format!("server error ({}): {detail}", code.as_str()),
+                    })
+                }
+                Some(other) => {
+                    return Err(ServeError::Invariant(format!(
+                        "unexpected frame awaiting admission verdict: {other:?}"
+                    )))
+                }
+                None => {
+                    return Err(ServeError::Net {
+                        op: "submit",
+                        detail: "connection closed awaiting admission verdict".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Says `Goodbye`, drains every remaining outcome until the
+    /// server's `Bye`, and returns all outcomes this connection
+    /// received, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Net`] if the connection dies or the deadline
+    /// expires before the `Bye`.
+    pub fn finish(mut self, deadline: Duration) -> Result<Vec<OutcomeRecord>, ServeError> {
+        self.stream
+            .write_all(&encode_frame(&Frame::Goodbye))
+            .map_err(|e| io_err("write", &e))?;
+        let until = Instant::now() + deadline;
+        loop {
+            let remaining = until.saturating_duration_since(Instant::now());
+            match self.read_frame(remaining)? {
+                Some(f @ Frame::Outcome { .. }) => self.note_outcome(&f)?,
+                Some(Frame::Bye) => {
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                    return Ok(self.outcomes);
+                }
+                Some(Frame::Error { code, detail }) => {
+                    return Err(ServeError::Net {
+                        op: "drain",
+                        detail: format!("server error ({}): {detail}", code.as_str()),
+                    })
+                }
+                Some(other) => {
+                    return Err(ServeError::Invariant(format!(
+                        "unexpected frame while draining: {other:?}"
+                    )))
+                }
+                None => {
+                    return Err(ServeError::Net {
+                        op: "drain",
+                        detail: "connection closed before Bye".into(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Replays `source` over the wire through `client`, pacing arrivals on
+/// the client's clock exactly like [`replay`] paces on the service's.
+/// Admission verdicts come back through [`NetClient::submit`], so the
+/// report's accepted/rejected split is the *wire's* view of admission
+/// — `repro net` cross-checks it against the server's drain report.
+///
+/// # Errors
+///
+/// Same contract as [`replay`], plus [`ServeError::Net`] for
+/// transport failures.
+pub fn replay_net<S: ArrivalSource>(
+    client: &mut NetClient,
+    source: &mut S,
+    horizon_ms: f64,
+    time_scale: f64,
+    submit_deadline: Duration,
+) -> Result<LoadGenReport, ServeError> {
+    if !time_scale.is_finite() || time_scale <= 0.0 {
+        return Err(ServeError::InvalidConfig(format!(
+            "time_scale must be finite and positive, got {time_scale}"
+        )));
+    }
+    if !horizon_ms.is_finite() {
+        return Err(ServeError::InvalidConfig(format!(
+            "non-finite horizon {horizon_ms}"
+        )));
+    }
+    let mut report = LoadGenReport::default();
+    while let Some((t, class, tenant)) = source.next_arrival() {
+        if t > horizon_ms {
+            break;
+        }
+        let target_ms = t * time_scale;
+        client.sleep_until_ms(target_ms);
+        report
+            .arrival_error_us
+            .record(((client.now_ms() - target_ms).max(0.0) * 1e3) as u64);
+        report.submitted += 1;
+        match client.submit(class, tenant, submit_deadline)? {
+            SubmitResult::Accepted { .. } => report.accepted += 1,
+            SubmitResult::Rejected { .. } => {
+                report.rejected += 1;
+                *report.rejected_by_tenant.entry(tenant).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+// -- chaos client ---------------------------------------------------------
+
+/// One way to abuse the server. Every mode must end in a typed error
+/// or a clean close — never a panic, never a wedged connection slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// 64 seeded random bytes that are not a frame header.
+    GarbageFrame,
+    /// A valid magic word declaring a body longer than the cap.
+    OversizedFrame,
+    /// Half a submit frame, then a write-side close.
+    TruncatedWrite,
+    /// Half a submit frame, then silence (slow-loris).
+    StalledRead,
+    /// A real submit, then vanish before the outcome streams back.
+    MidProofDisconnect,
+    /// Sequential connections held open until the server says busy.
+    ConnectionFlood,
+}
+
+impl ChaosMode {
+    /// Every mode, in the order `repro net` tables them.
+    pub const ALL: [ChaosMode; 6] = [
+        ChaosMode::GarbageFrame,
+        ChaosMode::OversizedFrame,
+        ChaosMode::TruncatedWrite,
+        ChaosMode::StalledRead,
+        ChaosMode::MidProofDisconnect,
+        ChaosMode::ConnectionFlood,
+    ];
+
+    /// Stable lower-snake name, used in tables and BENCH JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosMode::GarbageFrame => "garbage_frame",
+            ChaosMode::OversizedFrame => "oversized_frame",
+            ChaosMode::TruncatedWrite => "truncated_write",
+            ChaosMode::StalledRead => "stalled_read",
+            ChaosMode::MidProofDisconnect => "mid_proof_disconnect",
+            ChaosMode::ConnectionFlood => "connection_flood",
+        }
+    }
+}
+
+/// Connects and consumes the `Welcome`, returning the raw stream for
+/// byte-level abuse.
+fn connect_expect_welcome(addr: SocketAddr) -> Result<(TcpStream, Vec<u8>), ServeError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .map_err(|e| io_err("set_read_timeout", &e))?;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2000)));
+    let mut buf = Vec::new();
+    let until = Instant::now() + Duration::from_millis(5000);
+    loop {
+        match decode_frame(&buf) {
+            Ok(Some((Frame::Welcome { .. }, used))) => {
+                buf.drain(..used);
+                return Ok((stream, buf));
+            }
+            Ok(Some((other, _))) => {
+                return Err(ServeError::Invariant(format!(
+                    "expected welcome, got {other:?}"
+                )))
+            }
+            Ok(None) => {}
+            Err(e) => return Err(ServeError::Protocol(e)),
+        }
+        if Instant::now() >= until {
+            return Err(ServeError::Net {
+                op: "read",
+                detail: "deadline expired waiting for welcome".into(),
+            });
+        }
+        let mut tmp = [0u8; 256];
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                return Err(ServeError::Net {
+                    op: "read",
+                    detail: "server closed before greeting".into(),
+                })
+            }
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read", &e)),
+        }
+    }
+}
+
+/// Reads frames until the peer closes or `deadline` passes. Returns
+/// the frames seen and whether the close was observed.
+fn drain_until_close(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Duration,
+) -> (Vec<Frame>, bool) {
+    let until = Instant::now() + deadline;
+    let mut frames = Vec::new();
+    loop {
+        match decode_frame(buf) {
+            Ok(Some((frame, used))) => {
+                buf.drain(..used);
+                frames.push(frame);
+                continue;
+            }
+            Ok(None) => {}
+            // The server would have to emit malformed bytes for this
+            // to trigger; surface it as "no clean close observed".
+            Err(_) => return (frames, false),
+        }
+        if Instant::now() >= until {
+            return (frames, false);
+        }
+        let mut tmp = [0u8; 256];
+        match stream.read(&mut tmp) {
+            Ok(0) => return (frames, true),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return (frames, true),
+        }
+    }
+}
+
+/// Renders what the server did to one abused connection: the error
+/// code it answered with (if any) and whether it closed. These strings
+/// are deterministic — they feed the golden-pinned chaos table.
+fn classify(frames: &[Frame], closed: bool) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for f in frames {
+        match f {
+            Frame::Error { code, .. } => parts.push(format!("error({})", code.as_str())),
+            Frame::Busy { .. } => parts.push("busy".into()),
+            other => parts.push(format!("{other:?}")),
+        }
+    }
+    if closed {
+        parts.push("close".into());
+    } else {
+        parts.push("NO-CLOSE".into());
+    }
+    parts.join(" + ")
+}
+
+/// A partial (header + truncated body) submit frame: structurally a
+/// valid prefix, so the server must wait — and then give up via its
+/// read deadline (stall) or see the half-close (truncation).
+fn partial_submit_bytes(class: RequestClass) -> Vec<u8> {
+    let full = encode_frame(&Frame::Submit {
+        seq: 0,
+        gate: class.gate,
+        mu: class.mu.min(u32::MAX as usize) as u32,
+        tenant: 0,
+    });
+    full[..HEADER_LEN + 3].to_vec()
+}
+
+/// Runs one chaos mode against a live server and reports what the
+/// server did, as a deterministic classification string (golden-pinned
+/// by `repro net`). The server must answer every mode with a typed
+/// error or a clean close; [`ChaosMode::MidProofDisconnect`] and
+/// [`ChaosMode::ConnectionFlood`] additionally leave evidence in
+/// [`crate::net::NetStats`] that the caller asserts on.
+///
+/// # Errors
+///
+/// [`ServeError::Net`] / [`ServeError::Protocol`] only for transport
+/// problems *setting up* the abuse (the abuse's own effects come back
+/// in the classification string, not as errors).
+pub fn chaos(
+    addr: SocketAddr,
+    mode: ChaosMode,
+    seed: u64,
+    class: RequestClass,
+    opts: &crate::ServeOpts,
+) -> Result<String, ServeError> {
+    let read_wait = Duration::from_millis(opts.read_timeout_ms + 3000);
+    match mode {
+        ChaosMode::GarbageFrame => {
+            let (mut stream, mut buf) = connect_expect_welcome(addr)?;
+            let mut rng = SplitMix64::new(seed);
+            let mut junk = [0u8; 64];
+            for b in junk.iter_mut() {
+                *b = (rng.next_u64() >> 32) as u8;
+            }
+            // Guarantee the first word is not the magic: the abuse is
+            // "not our protocol", not "unlucky collision".
+            junk[0] = !(MAGIC.to_le_bytes()[0]);
+            stream.write_all(&junk).map_err(|e| io_err("write", &e))?;
+            let (frames, closed) = drain_until_close(&mut stream, &mut buf, read_wait);
+            Ok(classify(&frames, closed))
+        }
+        ChaosMode::OversizedFrame => {
+            let (mut stream, mut buf) = connect_expect_welcome(addr)?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MAGIC.to_le_bytes());
+            header.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+            stream.write_all(&header).map_err(|e| io_err("write", &e))?;
+            let (frames, closed) = drain_until_close(&mut stream, &mut buf, read_wait);
+            Ok(classify(&frames, closed))
+        }
+        ChaosMode::TruncatedWrite => {
+            let (mut stream, mut buf) = connect_expect_welcome(addr)?;
+            stream
+                .write_all(&partial_submit_bytes(class))
+                .map_err(|e| io_err("write", &e))?;
+            // Half-close: the read side stays open, so the server's
+            // typed error is still observable.
+            stream
+                .shutdown(Shutdown::Write)
+                .map_err(|e| io_err("shutdown", &e))?;
+            let (frames, closed) = drain_until_close(&mut stream, &mut buf, read_wait);
+            Ok(classify(&frames, closed))
+        }
+        ChaosMode::StalledRead => {
+            let (mut stream, mut buf) = connect_expect_welcome(addr)?;
+            stream
+                .write_all(&partial_submit_bytes(class))
+                .map_err(|e| io_err("write", &e))?;
+            // …and say nothing more. The server's read deadline must
+            // fire; the client just waits to observe it.
+            let (frames, closed) = drain_until_close(&mut stream, &mut buf, read_wait);
+            Ok(classify(&frames, closed))
+        }
+        ChaosMode::MidProofDisconnect => {
+            let mut client = NetClient::connect(addr)?;
+            match client.submit(class, 0, Duration::from_millis(10_000))? {
+                SubmitResult::Accepted { .. } => {
+                    // Vanish. The proof completes server-side; its
+                    // outcome becomes a counted router drop, and the
+                    // drain report still conserves it.
+                    drop(client);
+                    Ok("accepted + disconnect mid-proof".into())
+                }
+                SubmitResult::Rejected { reason, .. } => Ok(format!(
+                    "UNEXPECTED rejection({}) before disconnect",
+                    reason.as_str()
+                )),
+            }
+        }
+        ChaosMode::ConnectionFlood => {
+            let mut held: Vec<NetClient> = Vec::new();
+            let mut welcomes = 0usize;
+            let mut busy = false;
+            // Strictly sequential: each connection waits for its
+            // greeting before the next opens, so the count of accepted
+            // connections before the first Busy is exactly the
+            // configured cap, deterministically.
+            for _ in 0..opts.max_conns + 3 {
+                match NetClient::connect(addr) {
+                    Ok(c) => {
+                        welcomes += 1;
+                        held.push(c);
+                    }
+                    Err(ServeError::Net {
+                        op: "connect",
+                        detail,
+                    }) if detail.starts_with("server busy") => {
+                        busy = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            drop(held);
+            if busy {
+                Ok(format!("{welcomes} welcomes + busy + close"))
+            } else {
+                Ok(format!("{welcomes} welcomes + NO-BUSY"))
+            }
+        }
+    }
 }

@@ -7,12 +7,18 @@
 //! variable — a typo'd `ZKPHIRE_SERVE_WORKERS=eight` must not silently
 //! run with the baked-in worker count.
 //!
-//! | env var                       | meaning                          | default                    |
-//! |-------------------------------|----------------------------------|----------------------------|
-//! | `ZKPHIRE_SERVE_WORKERS`       | prover worker threads            | `max(1, cores / 4)`        |
-//! | `ZKPHIRE_SERVE_PROVER_THREADS`| SumCheck threads per worker      | `max(1, cores / workers)`  |
-//! | `ZKPHIRE_SERVE_MAX_BATCH`     | max requests per dispatch batch  | `8`                        |
-//! | `ZKPHIRE_SERVE_QUEUE_CAP`     | shared admission queue capacity  | unbounded                  |
+//! | env var                         | meaning                           | default                    |
+//! |---------------------------------|-----------------------------------|----------------------------|
+//! | `ZKPHIRE_SERVE_WORKERS`         | prover worker threads             | `max(1, cores / 4)`        |
+//! | `ZKPHIRE_SERVE_PROVER_THREADS`  | SumCheck threads per worker       | `max(1, cores / workers)`  |
+//! | `ZKPHIRE_SERVE_MAX_BATCH`       | max requests per dispatch batch   | `8`                        |
+//! | `ZKPHIRE_SERVE_QUEUE_CAP`       | shared admission queue capacity   | unbounded                  |
+//! | `ZKPHIRE_SERVE_ADDR`            | TCP front-end bind address        | `127.0.0.1:0`              |
+//! | `ZKPHIRE_SERVE_MAX_CONNS`       | hard concurrent-connection cap    | `32`                       |
+//! | `ZKPHIRE_SERVE_READ_TIMEOUT_MS` | mid-frame read deadline (ms)      | `2000`                     |
+//! | `ZKPHIRE_SERVE_IDLE_TIMEOUT_MS` | between-frame idle reaper (ms)    | `30000`                    |
+
+use std::net::SocketAddr;
 
 use crate::error::ServeError;
 
@@ -36,6 +42,21 @@ pub struct ServeOpts {
     /// Shared admission queue capacity; `None` = unbounded, `Some(0)`
     /// rejects everything that would have to wait.
     pub queue_capacity: Option<usize>,
+    /// Bind address for the TCP front-end ([`crate::net::NetServer`]).
+    /// Port `0` asks the OS for an ephemeral port; the bound address
+    /// is reported by [`crate::net::NetServer::local_addr`].
+    pub addr: SocketAddr,
+    /// Hard cap on concurrently served connections. A connection past
+    /// the cap gets a `Busy` frame with a retry-after hint and an
+    /// immediate close instead of a queue slot.
+    pub max_conns: usize,
+    /// How long a connection may sit mid-frame (bytes of a frame
+    /// arrived, the rest has not) before the server answers with a
+    /// `stalled` error and closes — the slow-loris deadline.
+    pub read_timeout_ms: u64,
+    /// How long a connection may sit idle between frames before the
+    /// idle-reaper closes it.
+    pub idle_timeout_ms: u64,
 }
 
 /// Cores the OS reports, floored at 1 (the query can fail in minimal
@@ -70,6 +91,52 @@ fn env_usize(var: &'static str) -> Result<Option<usize>, ServeError> {
     parse_env_usize(var, raw.as_deref())
 }
 
+/// Like [`parse_env_usize`] but for `u64` millisecond knobs.
+fn parse_env_u64(var: &'static str, raw: Option<&str>) -> Result<Option<u64>, ServeError> {
+    match raw {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| ServeError::InvalidEnv {
+                var,
+                value: v.to_string(),
+            }),
+    }
+}
+
+fn env_u64(var: &'static str) -> Result<Option<u64>, ServeError> {
+    let raw = std::env::var(var).ok();
+    parse_env_u64(var, raw.as_deref())
+}
+
+/// Like [`parse_env_usize`] but for the `host:port` bind address.
+fn parse_env_addr(var: &'static str, raw: Option<&str>) -> Result<Option<SocketAddr>, ServeError> {
+    match raw {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| ServeError::InvalidEnv {
+                var,
+                value: v.to_string(),
+            }),
+    }
+}
+
+fn env_addr(var: &'static str) -> Result<Option<SocketAddr>, ServeError> {
+    let raw = std::env::var(var).ok();
+    parse_env_addr(var, raw.as_deref())
+}
+
+/// Default loopback bind with an OS-assigned port. Built from parts
+/// rather than parsed so the default path has no fallible step.
+fn default_addr() -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], 0))
+}
+
 impl Default for ServeOpts {
     fn default() -> Self {
         let workers = (cores() / 4).max(1);
@@ -78,6 +145,10 @@ impl Default for ServeOpts {
             prover_threads: (cores() / workers).max(1),
             max_batch: 8,
             queue_capacity: None,
+            addr: default_addr(),
+            max_conns: 32,
+            read_timeout_ms: 2000,
+            idle_timeout_ms: 30_000,
         }
     }
 }
@@ -102,6 +173,18 @@ impl ServeOpts {
         }
         if let Some(c) = env_usize("ZKPHIRE_SERVE_QUEUE_CAP")? {
             o.queue_capacity = Some(c);
+        }
+        if let Some(a) = env_addr("ZKPHIRE_SERVE_ADDR")? {
+            o.addr = a;
+        }
+        if let Some(c) = env_usize("ZKPHIRE_SERVE_MAX_CONNS")? {
+            o.max_conns = c.max(1);
+        }
+        if let Some(ms) = env_u64("ZKPHIRE_SERVE_READ_TIMEOUT_MS")? {
+            o.read_timeout_ms = ms.max(1);
+        }
+        if let Some(ms) = env_u64("ZKPHIRE_SERVE_IDLE_TIMEOUT_MS")? {
+            o.idle_timeout_ms = ms.max(1);
         }
         Ok(o)
     }
@@ -129,6 +212,30 @@ impl ServeOpts {
         self.queue_capacity = Some(cap);
         self
     }
+
+    /// Sets the TCP bind address (builder style).
+    pub fn with_addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = addr;
+        self
+    }
+
+    /// Sets the hard connection cap (builder style).
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns.max(1);
+        self
+    }
+
+    /// Sets the mid-frame read deadline in ms (builder style).
+    pub fn with_read_timeout_ms(mut self, ms: u64) -> Self {
+        self.read_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the idle-reaper deadline in ms (builder style).
+    pub fn with_idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +252,10 @@ mod tests {
         assert!(o.workers * o.prover_threads <= cores().max(4) * 2);
         assert_eq!(o.max_batch, 8);
         assert_eq!(o.queue_capacity, None);
+        assert_eq!(o.addr, default_addr());
+        assert_eq!(o.max_conns, 32);
+        assert_eq!(o.read_timeout_ms, 2000);
+        assert_eq!(o.idle_timeout_ms, 30_000);
     }
 
     #[test]
@@ -177,6 +288,75 @@ mod tests {
             parse_env_usize("ZKPHIRE_SERVE_QUEUE_CAP", Some("0")),
             Ok(Some(0))
         );
+    }
+
+    #[test]
+    fn net_builders_clamp_and_set() {
+        let addr: SocketAddr = "0.0.0.0:9090".parse().expect("literal addr");
+        let o = ServeOpts::default()
+            .with_addr(addr)
+            .with_max_conns(0)
+            .with_read_timeout_ms(0)
+            .with_idle_timeout_ms(0);
+        assert_eq!(o.addr, addr);
+        assert_eq!(o.max_conns, 1);
+        assert_eq!(o.read_timeout_ms, 1);
+        assert_eq!(o.idle_timeout_ms, 1);
+    }
+
+    #[test]
+    fn net_vars_parse_with_whitespace_tolerance() {
+        assert_eq!(
+            parse_env_addr("ZKPHIRE_SERVE_ADDR", Some(" 127.0.0.1:7000 ")),
+            Ok(Some(SocketAddr::from(([127, 0, 0, 1], 7000))))
+        );
+        assert_eq!(
+            parse_env_usize("ZKPHIRE_SERVE_MAX_CONNS", Some("4")),
+            Ok(Some(4))
+        );
+        assert_eq!(
+            parse_env_u64("ZKPHIRE_SERVE_READ_TIMEOUT_MS", Some(" 250 ")),
+            Ok(Some(250))
+        );
+        assert_eq!(
+            parse_env_u64("ZKPHIRE_SERVE_IDLE_TIMEOUT_MS", Some("1000")),
+            Ok(Some(1000))
+        );
+        assert_eq!(parse_env_addr("ZKPHIRE_SERVE_ADDR", None), Ok(None));
+        assert_eq!(
+            parse_env_u64("ZKPHIRE_SERVE_READ_TIMEOUT_MS", None),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn malformed_net_vars_fail_naming_the_variable() {
+        let addr_err = parse_env_addr("ZKPHIRE_SERVE_ADDR", Some("localhost-no-port"))
+            .expect_err("hostless addr must fail");
+        assert_eq!(
+            addr_err,
+            ServeError::InvalidEnv {
+                var: "ZKPHIRE_SERVE_ADDR",
+                value: "localhost-no-port".to_string()
+            }
+        );
+        for (var, bad) in [
+            ("ZKPHIRE_SERVE_MAX_CONNS", "many"),
+            ("ZKPHIRE_SERVE_READ_TIMEOUT_MS", "1.5s"),
+            ("ZKPHIRE_SERVE_IDLE_TIMEOUT_MS", "-3"),
+        ] {
+            let err = if var == "ZKPHIRE_SERVE_MAX_CONNS" {
+                parse_env_usize(var, Some(bad)).expect_err("malformed must fail")
+            } else {
+                parse_env_u64(var, Some(bad)).expect_err("malformed must fail")
+            };
+            let msg = err.to_string();
+            assert!(msg.contains(var), "message names the variable: {msg}");
+            assert!(
+                msg.contains(&format!("{bad:?}")),
+                "message quotes the value: {msg}"
+            );
+        }
     }
 
     #[test]

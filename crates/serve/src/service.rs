@@ -515,6 +515,31 @@ impl ProvingService {
         }
     }
 
+    /// Requests currently queued past admission but not yet terminal —
+    /// the live depth behind wire-level retry-after hints.
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .lock_admission()
+            .map(|adm| adm.queued_total)
+            .unwrap_or(0)
+    }
+
+    /// Suggested client wait (ms) before retrying a rejected submit:
+    /// the queue's expected drain time if every queued request cost
+    /// the mean calibrated proof latency, spread across the worker
+    /// pool. A hint, not a guarantee — the point is that the wait the
+    /// wire advertises scales with live load instead of being a
+    /// constant.
+    pub fn retry_after_hint_ms(&self) -> f64 {
+        let n = self.inner.expected_ms.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean_ms = self.inner.expected_ms.values().sum::<f64>() / n as f64;
+        let workers = self.inner.cfg.opts.workers.max(1) as f64;
+        (self.queue_depth() + 1) as f64 * mean_ms / workers
+    }
+
     /// Records and streams an admission rejection — a terminal outcome.
     fn note_rejection(&self, id: u64, class: RequestClass, tenant: TenantId) {
         let t_ms = self.inner.now_ms();
@@ -849,49 +874,73 @@ fn dispatcher_loop(
         last_in_flight: 0,
     };
     loop {
-        let timeout = d.next_timeout();
-        let msg = match rx.recv_timeout(timeout) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
-            // Every submitter and worker hung up without a shutdown:
-            // nothing can arrive anymore, drain what remains.
-            Err(RecvTimeoutError::Disconnected) => {
-                d.draining = true;
-                None
-            }
+        // A pending timer bounds the wait; with none, block until the
+        // next submit or completion wakes us through the channel. The
+        // old unconditional 50 ms heartbeat poll meant a submit landing
+        // between beats could sit in the channel for most of a period —
+        // the recv_timeout wakeup tail in `dispatch_wakeup_us`.
+        let first = match d.next_timeout() {
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                // Every submitter and worker hung up without a
+                // shutdown: nothing can arrive anymore, drain what
+                // remains.
+                Err(RecvTimeoutError::Disconnected) => {
+                    d.draining = true;
+                    None
+                }
+            },
+            None => match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    d.draining = true;
+                    None
+                }
+            },
         };
         let now = inner.now_ms();
         d.tick(now);
-        let effectful = match msg {
-            Some(Ctrl::Job(req)) => {
-                // Submission → this wakeup is pure dispatcher latency
-                // the DES does not model (it dispatches at the event's
-                // exact timestamp) — one of the two named contributors
-                // to the sim-vs-wall p99 gap.
-                d.out
-                    .dispatch_wakeup_us
-                    .record(((now - req.arrival_ms).max(0.0) * 1e3) as u64);
-                d.policy.push(req);
-                d.out.max_queue_depth = d.out.max_queue_depth.max(d.policy.depth());
-                true
-            }
-            Some(Ctrl::Done { worker, records }) => d.on_done(worker, records),
-            Some(Ctrl::Failed { worker, batch }) => d.on_failed(worker, batch, now),
-            Some(Ctrl::ProofRejected { worker, id }) => {
-                d.note_invariant(format!(
-                    "worker {worker}: proof for request {id} failed verification"
-                ));
-                if let Some(w) = d.workers.get_mut(worker) {
-                    w.status = WorkerStatus::Idle;
+        // Drain the whole queued burst before the post-processing
+        // below: one round of repair/dispatch/sampling then serves
+        // every message, where re-running it per message put its full
+        // cost into the wakeup of each later message in the burst.
+        let mut effectful = false;
+        let mut pending = first;
+        while let Some(msg) = pending.take() {
+            let handled = match msg {
+                Ctrl::Job(req) => {
+                    // Submission → this wakeup is pure dispatcher
+                    // latency the DES does not model (it dispatches at
+                    // the event's exact timestamp) — one of the two
+                    // named contributors to the sim-vs-wall p99 gap.
+                    let t = inner.now_ms();
+                    d.out
+                        .dispatch_wakeup_us
+                        .record(((t - req.arrival_ms).max(0.0) * 1e3) as u64);
+                    d.policy.push(req);
+                    d.out.max_queue_depth = d.out.max_queue_depth.max(d.policy.depth());
+                    true
                 }
-                true
-            }
-            Some(Ctrl::Shutdown) => {
-                d.draining = true;
-                false
-            }
-            None => false,
-        };
+                Ctrl::Done { worker, records } => d.on_done(worker, records),
+                Ctrl::Failed { worker, batch } => d.on_failed(worker, batch, now),
+                Ctrl::ProofRejected { worker, id } => {
+                    d.note_invariant(format!(
+                        "worker {worker}: proof for request {id} failed verification"
+                    ));
+                    if let Some(w) = d.workers.get_mut(worker) {
+                        w.status = WorkerStatus::Idle;
+                    }
+                    true
+                }
+                Ctrl::Shutdown => {
+                    d.draining = true;
+                    false
+                }
+            };
+            effectful |= handled;
+            pending = rx.try_recv().ok();
+        }
         if effectful {
             d.out.makespan_ms = d.out.makespan_ms.max(now);
         }
@@ -915,8 +964,11 @@ fn dispatcher_loop(
 
 impl Dispatcher<'_> {
     /// Sleep until the earliest pending timer (a parked retry's wake or
-    /// a failed worker's repair), with a coarse heartbeat otherwise.
-    fn next_timeout(&self) -> Duration {
+    /// a failed worker's repair); `None` means no timer is pending and
+    /// the dispatcher can block on the channel outright — submits and
+    /// completions wake it through the send, so no polling heartbeat
+    /// is needed.
+    fn next_timeout(&self) -> Option<Duration> {
         let now = self.inner.now_ms();
         let mut next: Option<f64> = None;
         for (_, wake) in self.parked.values() {
@@ -927,10 +979,10 @@ impl Dispatcher<'_> {
                 next = Some(next.map_or(until_ms, |n: f64| n.min(until_ms)));
             }
         }
-        match next {
-            Some(at) => Duration::from_secs_f64(((at - now).max(0.0) / 1e3) + 1e-4),
-            None => Duration::from_millis(50),
-        }
+        // Cap at 60 s: a worker that hung up mid-batch parks a repair
+        // at f64::MAX, which must degrade to a periodic re-check, not
+        // a `Duration::from_secs_f64(inf)` panic.
+        next.map(|at| Duration::from_secs_f64((((at - now).max(0.0) / 1e3) + 1e-4).min(60.0)))
     }
 
     fn tick(&mut self, now: f64) {

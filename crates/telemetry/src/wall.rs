@@ -102,6 +102,16 @@ pub enum WallEventKind {
     QueueDepth,
     /// In-flight batch count sample (`arg` = count).
     InFlight,
+    /// A network connection was accepted by the TCP front-end
+    /// (`id` = connection id, `a` = service-clock ms).
+    ConnOpen,
+    /// A network connection closed (`id` = connection id, `arg` =
+    /// close-reason discriminant, `a` = service-clock ms).
+    ConnClose,
+    /// A connection was refused at the hard connection cap — the
+    /// acceptor answered busy-with-retry-after and hung up
+    /// (`a` = service-clock ms, `b` = retry-after hint ms).
+    ConnBusy,
 }
 
 impl WallEventKind {
@@ -125,6 +135,9 @@ impl WallEventKind {
             WallEventKind::WorkerRepairEnd => "repair_end",
             WallEventKind::QueueDepth => "queue_depth",
             WallEventKind::InFlight => "in_flight",
+            WallEventKind::ConnOpen => "conn_open",
+            WallEventKind::ConnClose => "conn_close",
+            WallEventKind::ConnBusy => "conn_busy",
         }
     }
 }
@@ -347,6 +360,14 @@ impl WallTimeline {
         }
         let admission_tid = self.worker_busy_ms.len() as u32;
         t.thread_name(admission_tid, "admission");
+        let net_tid = admission_tid + 1;
+        if self
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, WallEventKind::ConnOpen | WallEventKind::ConnBusy))
+        {
+            t.thread_name(net_tid, "net");
+        }
         // Request lifecycle phases: async events share one track per
         // request id, so a request's queued → proving → verifying chain
         // reads left to right in Perfetto.
@@ -405,6 +426,14 @@ impl WallTimeline {
                         rel_us(e.t_ns),
                         admission_tid,
                         &[("id", e.id.to_string()), ("tenant", e.tenant.to_string())],
+                    );
+                }
+                WallEventKind::ConnOpen | WallEventKind::ConnClose | WallEventKind::ConnBusy => {
+                    t.instant(
+                        e.kind.as_str(),
+                        rel_us(e.t_ns),
+                        net_tid,
+                        &[("id", e.id.to_string()), ("arg", e.arg.to_string())],
                     );
                 }
                 _ => {}

@@ -1,6 +1,8 @@
 //! Golden determinism regression for the fleet-facing repro
-//! experiments: `repro fleet`, `repro autoscale`, `repro faults` and
-//! `repro obs` must be pure functions of their fixed seeds. Two same-process runs are compared
+//! experiments: `repro fleet`, `repro autoscale`, `repro faults`,
+//! `repro obs` and `repro net` must be pure functions of their fixed
+//! seeds (`net` keeps wall-clock latencies out of stdout for exactly
+//! this reason — only chaos verdicts and integer counters are pinned). Two same-process runs are compared
 //! byte for byte, and a small checked-in summary
 //! (`tests/golden/repro_summary.txt`) pins the exact output across
 //! commits so CI catches determinism drift — a changed RNG draw order,
@@ -16,7 +18,7 @@
 
 use zkphire_bench::experiments;
 
-const EXPERIMENTS: [&str; 4] = ["fleet", "autoscale", "faults", "obs"];
+const EXPERIMENTS: [&str; 5] = ["fleet", "autoscale", "faults", "obs", "net"];
 
 /// FNV-1a over the experiment's full text output.
 fn fnv1a(s: &str) -> u64 {

@@ -1,0 +1,248 @@
+//! Integration tests for the TCP front-end (`zkphire-serve`'s `net` +
+//! `codec` modules): framed happy path with conservation across the
+//! wire, distinct wire-level rejection reasons, chaos survival with no
+//! wedged slots, and the typed double-shutdown contract.
+
+use std::time::Duration;
+
+use zkphire_core::protocol::Gate;
+use zkphire_fleet::{Outcome, RequestClass};
+use zkphire_serve::{
+    chaos, ChaosMode, NetClient, NetServer, ServeConfig, ServeError, ServeOpts, SubmitResult,
+};
+
+fn tiny_class() -> RequestClass {
+    RequestClass::new(Gate::Vanilla, 4)
+}
+
+fn net_opts() -> ServeOpts {
+    ServeOpts::default()
+        .with_prover_threads(1)
+        .with_max_batch(4)
+        .with_max_conns(2)
+        .with_read_timeout_ms(150)
+        .with_idle_timeout_ms(5000)
+}
+
+const VERDICT_WAIT: Duration = Duration::from_millis(10_000);
+const DRAIN_WAIT: Duration = Duration::from_millis(30_000);
+
+/// Happy path over loopback: submits stream back their outcomes, the
+/// client's records bitwise-match what the server accounted, and the
+/// drain report conserves every arrival.
+#[test]
+fn framed_submits_round_trip_with_exact_accounting() {
+    let class = tiny_class();
+    let cfg = ServeConfig::new(vec![class])
+        .with_seed(21)
+        .with_opts(net_opts());
+    let mut server = NetServer::start(cfg).expect("startup");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let n: u64 = 6;
+    let mut ids = Vec::new();
+    for _ in 0..n {
+        match client.submit(class, 0, VERDICT_WAIT).expect("verdict") {
+            SubmitResult::Accepted { id, .. } => ids.push(id),
+            SubmitResult::Rejected { reason, .. } => {
+                panic!("unbounded admission rejected: {}", reason.as_str())
+            }
+        }
+    }
+    let outcomes = client.finish(DRAIN_WAIT).expect("drain to Bye");
+    assert_eq!(
+        outcomes.len(),
+        n as usize,
+        "one outcome per accepted submit"
+    );
+    let report = server.shutdown().expect("clean shutdown");
+
+    assert_eq!(report.serve.summary.arrivals, n);
+    assert_eq!(report.serve.summary.completed, n);
+    assert_eq!(report.serve.summary.lost, 0);
+    assert_eq!(report.stats.conns_accepted, 1);
+    assert_eq!(report.stats.submits, n);
+    assert_eq!(report.stats.accepted_submits, n);
+    assert_eq!(report.stats.outcomes_streamed, n);
+    assert_eq!(report.stats.outcomes_dropped, 0);
+
+    // The wire carried each outcome's f64 payloads as raw bits: the
+    // client's rebuilt records must bitwise-match the server's drain
+    // records for the same ids.
+    for rec in &outcomes {
+        assert!(ids.contains(&rec.id));
+        assert_eq!(rec.outcome, Outcome::Completed);
+        let server_rec = report
+            .serve
+            .records
+            .iter()
+            .find(|r| r.id == rec.id)
+            .expect("server has the record");
+        assert_eq!(
+            rec.latency_ms.to_bits(),
+            server_rec.latency_ms().to_bits(),
+            "latency survives the wire bit-exact"
+        );
+    }
+}
+
+/// Tenant-cap and queue-full refusals arrive as *distinct* wire
+/// reasons, each carrying a positive retry-after hint.
+#[test]
+fn rejection_reasons_are_distinct_on_the_wire() {
+    let class = tiny_class();
+    // Worker pool of one, tenant 1 capped at zero, shared queue capped
+    // tightly: tenant-cap fires for tenant 1, queue-full for tenant 0
+    // once enough work stacks up.
+    let cfg = ServeConfig::new(vec![class])
+        .with_seed(22)
+        .with_tenant_caps(vec![(1, 0)])
+        .with_opts(net_opts().with_workers(1).with_queue_capacity(1));
+    let mut server = NetServer::start(cfg).expect("startup");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let capped = client.submit(class, 1, VERDICT_WAIT).expect("verdict");
+    match capped {
+        SubmitResult::Rejected {
+            reason,
+            retry_after_ms,
+        } => {
+            assert_eq!(reason.as_str(), "tenant_cap");
+            assert!(retry_after_ms >= 1);
+        }
+        SubmitResult::Accepted { .. } => panic!("zero-cap tenant admitted"),
+    }
+
+    // Fill the queue for tenant 0 until the capacity refusal shows up.
+    let mut saw_queue_full = false;
+    for _ in 0..32 {
+        match client.submit(class, 0, VERDICT_WAIT).expect("verdict") {
+            SubmitResult::Accepted { .. } => {}
+            SubmitResult::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                assert_eq!(reason.as_str(), "queue_full");
+                assert!(retry_after_ms >= 1);
+                saw_queue_full = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_queue_full, "tight queue never refused");
+
+    let outcomes = client.finish(DRAIN_WAIT).expect("drain");
+    let report = server.shutdown().expect("clean shutdown");
+    // Wire-side and server-side admission agree exactly.
+    assert_eq!(
+        report.stats.accepted_submits,
+        outcomes.len() as u64,
+        "every accepted submit streamed an outcome"
+    );
+    assert_eq!(
+        report.serve.summary.rejected, report.stats.rejected_submits,
+        "server counted the same refusals the wire carried"
+    );
+}
+
+/// Every chaos mode ends in a typed error or clean close, the slots it
+/// abused are reusable afterwards (no wedge), and the post-chaos drain
+/// still conserves all accounting.
+#[test]
+fn chaos_modes_never_wedge_the_server() {
+    let class = tiny_class();
+    let opts = net_opts();
+    let cfg = ServeConfig::new(vec![class]).with_seed(23).with_opts(opts);
+    let mut server = NetServer::start(cfg).expect("startup");
+    let addr = server.local_addr();
+
+    for (i, mode) in ChaosMode::ALL.into_iter().enumerate() {
+        let verdict = chaos(addr, mode, 0x9E37 + i as u64, class, &opts).expect("chaos transport");
+        assert!(
+            !verdict.contains("NO-CLOSE") && !verdict.contains("UNEXPECTED"),
+            "{}: {verdict}",
+            mode.as_str()
+        );
+        // Let abused handler slots re-register before the next mode —
+        // the flood mode in particular needs the full pool idle.
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // No wedge: a well-behaved client still gets a slot and a proof.
+    let mut probe = NetClient::connect(addr).expect("post-chaos connect");
+    match probe.submit(class, 0, VERDICT_WAIT).expect("verdict") {
+        SubmitResult::Accepted { .. } => {}
+        SubmitResult::Rejected { reason, .. } => {
+            panic!("post-chaos probe rejected: {}", reason.as_str())
+        }
+    }
+    let outcomes = probe.finish(DRAIN_WAIT).expect("post-chaos drain");
+    assert_eq!(outcomes.len(), 1);
+
+    let report = server.shutdown().expect("clean shutdown");
+    let s = &report.stats;
+    assert!(s.protocol_errors >= 2, "garbage + oversized: {s:?}");
+    assert_eq!(s.stalled_closes, 1, "{s:?}");
+    assert_eq!(s.truncated_closes, 1, "{s:?}");
+    assert_eq!(s.disconnects, 1, "{s:?}");
+    assert!(s.conns_refused >= 1, "flood past the cap: {s:?}");
+    // The mid-proof disconnect's outcome was dropped at the router but
+    // conserved in the report: arrivals all account to a terminal
+    // outcome, nothing lost.
+    assert_eq!(s.outcomes_dropped, 1, "{s:?}");
+    let sum = &report.serve.summary;
+    assert_eq!(sum.lost, 0);
+    assert_eq!(
+        sum.arrivals,
+        sum.completed + sum.rejected + sum.shed + sum.lost,
+        "conservation with the network in the loop"
+    );
+}
+
+/// The shutdown contract is typed: a second drain is
+/// [`ServeError::AlreadyShutDown`], service access after drain is the
+/// same, and a connect after drain is refused at the transport.
+#[test]
+fn double_shutdown_and_use_after_drain_are_typed_errors() {
+    let class = tiny_class();
+    let cfg = ServeConfig::new(vec![class])
+        .with_seed(24)
+        .with_opts(net_opts());
+    let mut server = NetServer::start(cfg).expect("startup");
+    let addr = server.local_addr();
+
+    assert!(server.service().is_ok(), "live service is reachable");
+    server.shutdown().expect("first drain succeeds");
+    assert!(matches!(
+        server.shutdown(),
+        Err(ServeError::AlreadyShutDown)
+    ));
+    assert!(matches!(server.service(), Err(ServeError::AlreadyShutDown)));
+    assert!(
+        NetClient::connect(addr).is_err(),
+        "listener is closed after drain"
+    );
+}
+
+/// A client that closes its write side with half a frame buffered gets
+/// the dedicated truncation error, not a generic close.
+#[test]
+fn half_closed_partial_frame_is_a_truncation_error() {
+    let class = tiny_class();
+    let cfg = ServeConfig::new(vec![class])
+        .with_seed(25)
+        .with_opts(net_opts());
+    let mut server = NetServer::start(cfg).expect("startup");
+    let opts = net_opts();
+    let verdict = chaos(
+        server.local_addr(),
+        ChaosMode::TruncatedWrite,
+        7,
+        class,
+        &opts,
+    )
+    .expect("chaos");
+    assert_eq!(verdict, "error(truncated) + close");
+    let report = server.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.truncated_closes, 1);
+}
